@@ -1,0 +1,30 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one of the paper's tables or figures, asserts
+its shape targets, and prints the reproduced artifact so the benchmark log
+doubles as the reproduction record. 32-bit kernels are session-scoped.
+"""
+
+import pytest
+
+from repro.kernels import analyze_kernel
+
+
+@pytest.fixture(scope="session")
+def qrca32():
+    return analyze_kernel("qrca", 32)
+
+
+@pytest.fixture(scope="session")
+def qcla32():
+    return analyze_kernel("qcla", 32)
+
+
+@pytest.fixture(scope="session")
+def qft32():
+    return analyze_kernel("qft", 32)
+
+
+@pytest.fixture(scope="session")
+def all_kernels32(qrca32, qcla32, qft32):
+    return [qrca32, qcla32, qft32]

@@ -1,0 +1,85 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not paper artifacts per se, but quantifications of the paper's design
+arguments:
+
+* recursive pi/2^k factories (Figure 6) vs Fowler H/T sequences on the
+  data critical path (Section 4.4.2);
+* crossbar width choices in the factories (Section 4.4.1);
+* verification-before-correction (Figure 4c's structure) as a factory
+  yield knob;
+* teleport-based QEC's 2x ancilla consumption (Section 5.3).
+"""
+
+import pytest
+
+from repro.ancilla.rotations import (
+    default_synthesizer,
+    recursive_rotation_expected_latency,
+)
+from repro.arch.qalypso import teleport_qec_ancilla_overhead
+from repro.circuits.latency import LogicalLatencyModel
+from repro.factory import PipelinedZeroFactory
+from repro.tech import ION_TRAP
+
+
+def test_bench_recursive_vs_sequence_rotations(benchmark):
+    """Section 4.4.2: with exact physical rotations available, the
+    recursive construction shortens the data critical path versus
+    executing a synthesized H/T word gate-by-gate."""
+
+    def compare():
+        model = LogicalLatencyModel(ION_TRAP)
+        out = {}
+        for k in (4, 5, 6):
+            word = default_synthesizer().synthesize(k)
+            word_latency = sum(
+                model.non_transversal_interaction_latency()
+                if g.value in ("t", "tdg")
+                else ION_TRAP.t_1q
+                for g in word.gates
+            )
+            recursive = recursive_rotation_expected_latency(k, ION_TRAP)
+            out[k] = (word_latency, recursive)
+        return out
+
+    results = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print()
+    for k, (word, recursive) in results.items():
+        print(f"  pi/2^{k}: H/T word {word:.0f}us vs recursive {recursive:.0f}us")
+        # The recursive factory wins on the data path whenever the word
+        # contains more than a couple of T gates.
+        assert recursive < word
+
+
+def test_bench_crossbar_width_choice(benchmark):
+    """Section 4.4.1 uses a single-column crossbar after Stage 1 (qubits
+    funnel inward) and two columns elsewhere; making them all two-column
+    costs area for no throughput."""
+    factory = benchmark(PipelinedZeroFactory)
+    single_first = factory.crossbar_areas
+    all_double = [2 * max(24, 4 + 2), 2 * 30, 2 * 42]
+    saved = sum(all_double) - sum(single_first)
+    print(f"\n  crossbar areas {single_first} vs all-double {all_double} "
+          f"(saves {saved} macroblocks)")
+    assert saved > 0
+    assert factory.throughput_per_ms == pytest.approx(10.5, abs=0.05)
+
+
+def test_bench_verification_yield_cost(benchmark):
+    """Verification discards ~0.2% of ancillae; the factory's bandwidth
+    math (Table 5's 85.2 q/ms verified output) prices exactly that."""
+    from repro.factory.units import zero_factory_units
+
+    unit = benchmark(lambda: zero_factory_units()["verification"])
+    gross = unit.qubits_out * 1000.0 / unit.initiation_interval()
+    net = unit.bandwidth_out()
+    print(f"\n  verification: gross {gross:.1f} q/ms, net {net:.1f} q/ms")
+    assert net / gross == pytest.approx(0.998)
+
+
+def test_bench_teleport_qec_overhead(benchmark):
+    """Section 5.3: folding QEC into teleportation doubles ancilla
+    consumption — the reason Qalypso keeps data regions ballistic."""
+    overhead = benchmark(teleport_qec_ancilla_overhead)
+    assert overhead["qec_via_teleport"] == 2 * overhead["qec_step"]

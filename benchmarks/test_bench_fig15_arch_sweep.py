@@ -1,0 +1,68 @@
+"""Benchmark: Figure 15 — execution time vs factory area per architecture.
+
+For each kernel, sweep total ancilla-factory area for QLA, CQLA and
+Fully-Multiplexed. Shape targets from Section 5.2:
+
+* Fully-Multiplexed is fastest at every sampled area;
+* CQLA plateaus well above Fully-Multiplexed (cache misses persist);
+* QLA eventually plateaus near Fully-Multiplexed but needs far more area
+  to get there (idle dedicated generators).
+"""
+
+from repro.arch import ArchitectureKind
+from repro.arch.provisioning import area_breakdown
+from repro.arch.sweep import area_sweep, area_to_reach, plateau_makespan
+from repro.reporting import run_experiment
+
+
+def _sweep(ka):
+    matched = area_breakdown(ka).factory_area
+    areas = [matched * f for f in (0.25, 1, 4, 16, 64, 256)]
+    return area_sweep(ka, areas=areas)
+
+
+def test_bench_fig15_qcla(benchmark, qcla32):
+    curves = benchmark.pedantic(lambda: _sweep(qcla32), rounds=1, iterations=1)
+    print()
+    print(run_experiment("fig15"))
+    _assert_shape(curves, cqla_gap=3.0, qla_area_factor=4.0)
+
+
+def test_bench_fig15_qrca(benchmark, qrca32):
+    curves = benchmark.pedantic(lambda: _sweep(qrca32), rounds=1, iterations=1)
+    _print_curves("QRCA", curves)
+    _assert_shape(curves, cqla_gap=1.0, qla_area_factor=4.0)
+
+
+def test_bench_fig15_qft(benchmark, qft32):
+    curves = benchmark.pedantic(lambda: _sweep(qft32), rounds=1, iterations=1)
+    _print_curves("QFT", curves)
+    _assert_shape(curves, cqla_gap=1.0, qla_area_factor=2.0)
+
+
+def _print_curves(name, curves):
+    print()
+    for kind, points in curves.items():
+        series = ", ".join(
+            f"{p.x:.0f}:{p.makespan_us / 1000:.1f}ms" for p in points
+        )
+        print(f"  {name} {kind.value}: {series}")
+
+
+def _assert_shape(curves, cqla_gap, qla_area_factor):
+    mux = curves[ArchitectureKind.MULTIPLEXED]
+    cqla = curves[ArchitectureKind.CQLA]
+    qla = curves[ArchitectureKind.QLA]
+    # Multiplexed dominates point-for-point.
+    for m, c, q in zip(mux, cqla, qla):
+        assert m.makespan_us <= c.makespan_us + 1e-6
+        assert m.makespan_us <= q.makespan_us + 1e-6
+    # CQLA's plateau sits above multiplexed's by the expected gap.
+    assert plateau_makespan(cqla) >= cqla_gap * plateau_makespan(mux)
+    # QLA reaches a similar plateau but needs much more area.
+    assert plateau_makespan(qla) < 3 * plateau_makespan(mux)
+    target = 1.5 * plateau_makespan(mux)
+    mux_area = area_to_reach(mux, target)
+    qla_area = area_to_reach(qla, target)
+    assert mux_area is not None
+    assert qla_area is None or qla_area >= qla_area_factor * mux_area

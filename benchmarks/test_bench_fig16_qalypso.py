@@ -1,0 +1,43 @@
+"""Benchmark: Figure 16 / Section 5.3 — Qalypso tiles vs CQLA.
+
+Provisions one Qalypso tile per kernel (dense data region plus
+surrounding factories with output ports at the region edge) and runs the
+headline comparison: at matched factory area, the fully-multiplexed tile
+beats CQLA by more than 5x on the parallel QCLA (the abstract's "more
+than five times speedup over previous proposals").
+"""
+
+from repro.arch.qalypso import compare_with_cqla, tile_for_kernel
+from repro.reporting import run_experiment
+
+
+def test_bench_fig16_tiles(benchmark, all_kernels32):
+    tiles = benchmark.pedantic(
+        lambda: {ka.name: tile_for_kernel(ka) for ka in all_kernels32},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(run_experiment("fig16"))
+    for name, tile in tiles.items():
+        # Tile must cover its kernel's demand with positive slack.
+        assert tile.zero_factories >= 1
+        assert tile.total_area > tile.data_area
+        # Ancilla distribution inside the tile is far cheaper than a
+        # teleport (the point of edge-adjacent output ports).
+        assert tile.distribution_latency_us() < 83.0
+
+
+def test_bench_fig16_headline_speedup(benchmark, qcla32, qrca32):
+    qcla_cmp, qrca_cmp = benchmark.pedantic(
+        lambda: (compare_with_cqla(qcla32), compare_with_cqla(qrca32)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(f"  QCLA: qalypso {qcla_cmp.qalypso.makespan_ms:.1f}ms vs "
+          f"CQLA {qcla_cmp.cqla.makespan_ms:.1f}ms -> {qcla_cmp.speedup:.1f}x")
+    print(f"  QRCA: qalypso {qrca_cmp.qalypso.makespan_ms:.1f}ms vs "
+          f"CQLA {qrca_cmp.cqla.makespan_ms:.1f}ms -> {qrca_cmp.speedup:.1f}x")
+    assert qcla_cmp.speedup > 5.0  # the paper's headline claim
+    assert qrca_cmp.speedup > 1.0

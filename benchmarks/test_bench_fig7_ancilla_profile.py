@@ -1,0 +1,33 @@
+"""Benchmark: Figure 7 — encoded-zero ancillae in flight over time.
+
+The figure shows, for each kernel, how many encoded zeros must be in the
+system as execution progresses to stay at the speed of data. Shape
+targets: non-trivial time variation (peaks above the mean), and the QCLA's
+in-flight peak scaled by its (much shorter) runtime towers over the QRCA's.
+"""
+
+from repro.reporting import run_experiment
+
+
+def _profiles(kernels):
+    return {ka.name: ka.ancilla_demand_profile(buckets=80) for ka in kernels}
+
+
+def test_bench_fig7(benchmark, all_kernels32):
+    profiles = benchmark.pedantic(
+        lambda: _profiles(all_kernels32), rounds=1, iterations=1
+    )
+    print()
+    print(run_experiment("fig7"))
+    for name, profile in profiles.items():
+        counts = [c for _, c in profile]
+        peak, mean = max(counts), sum(counts) / len(counts)
+        print(f"  {name}: peak in-flight {peak:.0f}, mean {mean:.1f}")
+        assert peak > 0
+        assert peak > mean  # bursty demand (Section 3.2's peak-handling point)
+    # Demand-rate ordering: QCLA >> QRCA (same as Table 3).
+    rate = {
+        ka.name: max(c for _, c in profiles[ka.name]) / ka.execution_time_us
+        for ka in all_kernels32
+    }
+    assert rate["32-Bit QCLA"] > 3 * rate["32-Bit QRCA"]

@@ -1,0 +1,44 @@
+"""Benchmark: Figure 8 — execution time vs steady ancilla throughput.
+
+For each kernel, execution time falls as the steady encoded-zero supply
+rate rises, hitting a floor once supply exceeds demand. Shape targets:
+
+* monotone non-increasing curves;
+* a steep region below the Table 3 average bandwidth (starving);
+* at the average bandwidth (the figure's vertical line) execution runs
+  within a small factor of the floor;
+* a flat plateau at high throughput equal to the dataflow bound.
+"""
+
+import numpy as np
+
+from repro.arch.sweep import throughput_sweep
+
+
+def _sweep_all(kernels):
+    out = {}
+    for ka in kernels:
+        avg = ka.zero_bandwidth_per_ms
+        rates = np.geomspace(avg / 16, avg * 16, 9)
+        out[ka.name] = (avg, throughput_sweep(ka, rates))
+    return out
+
+
+def test_bench_fig8(benchmark, all_kernels32):
+    sweeps = benchmark.pedantic(
+        lambda: _sweep_all(all_kernels32), rounds=1, iterations=1
+    )
+    print()
+    for name, (avg, points) in sweeps.items():
+        series = ", ".join(
+            f"{p.x:.0f}/ms:{p.makespan_us / 1000:.1f}ms" for p in points[::2]
+        )
+        print(f"  {name} (avg {avg:.1f}/ms): {series}")
+        makespans = [p.makespan_us for p in points]
+        assert all(a >= b - 1e-6 for a, b in zip(makespans, makespans[1:]))
+        floor = makespans[-1]
+        starved = makespans[0]
+        assert starved > 5 * floor  # steep starving region
+        at_avg = min(points, key=lambda p: abs(p.x - avg)).makespan_us
+        assert at_avg < 3 * floor  # average bandwidth nearly suffices
+        assert makespans[-2] < 1.2 * floor  # plateau is flat

@@ -1,0 +1,37 @@
+"""Benchmark: Table 2 — critical-path latency split per kernel.
+
+Paper values (us, % of total):
+
+    kernel        data op        QEC interact     ancilla prep
+    32-Bit QRCA   29508 (5.2%)   95641 (16.7%)    447726 (78.2%)
+    32-Bit QCLA   3827 (5.3%)    11921 (16.7%)    55806 (78.0%)
+    32-Bit QFT    77057 (5.0%)   365792 (23.7%)   1097376 (71.2%)
+
+Shape targets: data op within ~25-35%, ancilla prep >70% of the total for
+every kernel ("there is much to be gained by taking ancilla preparation
+off the critical path").
+"""
+
+import pytest
+
+PAPER_DATA_OP = {"32-Bit QRCA": 29508, "32-Bit QCLA": 3827, "32-Bit QFT": 77057}
+
+
+def test_bench_table2(benchmark, all_kernels32):
+    rows = benchmark.pedantic(
+        lambda: {ka.name: ka.table2_row() for ka in all_kernels32},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for name, row in rows.items():
+        print(
+            f"  {name}: data={row['data_op_us']:.0f} ({row['data_op_frac']:.1%}) "
+            f"qec={row['qec_interact_us']:.0f} ({row['qec_interact_frac']:.1%}) "
+            f"prep={row['ancilla_prep_us']:.0f} ({row['ancilla_prep_frac']:.1%})"
+        )
+    for name, row in rows.items():
+        rel = 0.35 if "QFT" in name else 0.25
+        assert row["data_op_us"] == pytest.approx(PAPER_DATA_OP[name], rel=rel)
+        assert row["ancilla_prep_frac"] > 0.70
+        assert row["data_op_frac"] < 0.10

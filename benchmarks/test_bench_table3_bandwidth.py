@@ -1,0 +1,42 @@
+"""Benchmark: Table 3 — average encoded-ancilla bandwidths.
+
+Paper values (ancillae per millisecond):
+
+    kernel        zero BW   pi/8 BW
+    32-Bit QRCA   34.8      7.0
+    32-Bit QCLA   306.1     62.7
+    32-Bit QFT    36.8      8.6
+
+Shape targets: each bandwidth within 30% of the paper; the QCLA demands
+roughly an order of magnitude more than the serial QRCA; the overall
+range spans the paper's "30 to 300 encoded zero ancillae / ms".
+"""
+
+import pytest
+
+PAPER = {
+    "32-Bit QRCA": (34.8, 7.0),
+    "32-Bit QCLA": (306.1, 62.7),
+    "32-Bit QFT": (36.8, 8.6),
+}
+
+
+def test_bench_table3(benchmark, all_kernels32):
+    rows = benchmark.pedantic(
+        lambda: {ka.name: ka.table3_row() for ka in all_kernels32},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for name, row in rows.items():
+        zero, pi8 = PAPER[name]
+        print(
+            f"  {name}: zero={row['zero_bandwidth_per_ms']:.1f}/ms (paper {zero}) "
+            f"pi8={row['pi8_bandwidth_per_ms']:.1f}/ms (paper {pi8})"
+        )
+    for name, row in rows.items():
+        zero, pi8 = PAPER[name]
+        assert row["zero_bandwidth_per_ms"] == pytest.approx(zero, rel=0.30)
+        assert row["pi8_bandwidth_per_ms"] == pytest.approx(pi8, rel=0.30)
+    zero_bws = [r["zero_bandwidth_per_ms"] for r in rows.values()]
+    assert max(zero_bws) / min(zero_bws) > 5  # QCLA an order above QRCA

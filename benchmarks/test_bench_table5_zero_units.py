@@ -1,0 +1,32 @@
+"""Benchmark: Table 5 — zero-factory functional unit characteristics.
+
+Exact reproduction: symbolic latencies, internal stage counts, input and
+output bandwidths and areas for all five functional units.
+"""
+
+import pytest
+
+from repro.factory.units import zero_factory_units
+from repro.reporting import run_experiment
+
+PAPER = {
+    # name: (latency us, stages, bw in, bw out, area)
+    "zero_prep": (73, 1, 13.7, 13.7, 1),
+    "cx_stage": (95, 3, 221.1, 221.1, 28),
+    "cat_prep": (62, 2, 96.8, 96.8, 6),
+    "verification": (82, 1, 122.0, 85.2, 10),
+    "bp_correction": (138, 1, 152.2, 50.7, 21),
+}
+
+
+def test_bench_table5(benchmark):
+    units = benchmark(zero_factory_units)
+    print()
+    print(run_experiment("table5"))
+    for name, (latency, stages, bw_in, bw_out, area) in PAPER.items():
+        unit = units[name]
+        assert unit.latency() == latency
+        assert unit.internal_stages == stages
+        assert unit.bandwidth_in() == pytest.approx(bw_in, abs=0.05)
+        assert unit.bandwidth_out() == pytest.approx(bw_out, abs=0.05)
+        assert unit.area == area

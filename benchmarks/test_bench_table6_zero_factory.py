@@ -1,0 +1,28 @@
+"""Benchmark: Table 6 — the pipelined encoded-zero factory.
+
+Exact reproduction: bandwidth matching yields unit counts 24/1/1/3/2,
+functional area 130, crossbar area 168 (24 + 2x30 + 2x42), total 298
+macroblocks, and throughput 10.5 encoded ancillae per millisecond.
+"""
+
+import pytest
+
+from repro.factory import PipelinedZeroFactory
+from repro.reporting import run_experiment
+
+
+def test_bench_table6(benchmark):
+    factory = benchmark(PipelinedZeroFactory)
+    print()
+    print(run_experiment("table6"))
+    assert factory.unit_counts == {
+        "zero_prep": 24,
+        "cx_stage": 1,
+        "cat_prep": 1,
+        "verification": 3,
+        "bp_correction": 2,
+    }
+    assert factory.functional_area == 130
+    assert factory.crossbar_areas == [24, 60, 84]
+    assert factory.area == 298
+    assert factory.throughput_per_ms == pytest.approx(10.5, abs=0.05)

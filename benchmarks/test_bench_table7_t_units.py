@@ -1,0 +1,29 @@
+"""Benchmark: Table 7 — pi/8 factory stage characteristics.
+
+Exact reproduction of the four stage rows: latencies 218/53/218/74 us,
+bandwidths (physical qubits per ms) and areas 12/7/19/8.
+"""
+
+import pytest
+
+from repro.factory.units import pi8_units
+from repro.reporting import run_experiment
+
+PAPER = {
+    "cat_state_prepare": (218, 32.1, 32.1, 12),
+    "transversal_interact": (53, 264.2, 264.2, 7),
+    "decode_store": (218, 64.2, 36.7, 19),
+    "h_measure_correct": (74, 108.1, 94.6, 8),
+}
+
+
+def test_bench_table7(benchmark):
+    units = benchmark(pi8_units)
+    print()
+    print(run_experiment("table7"))
+    for name, (latency, bw_in, bw_out, area) in PAPER.items():
+        unit = units[name]
+        assert unit.latency() == latency
+        assert unit.bandwidth_in() == pytest.approx(bw_in, abs=0.05)
+        assert unit.bandwidth_out() == pytest.approx(bw_out, abs=0.05)
+        assert unit.area == area

@@ -1,0 +1,31 @@
+"""Benchmark: Table 8 — the encoded pi/8 ancilla factory.
+
+Exact reproduction: unit counts 4/1/4/2, functional area 147, crossbars
+256 (2x24 + 2x52 + 2x52), total 403 macroblocks, throughput 18.3/ms
+bottlenecked by the 7-qubit cat-state prepare stage.
+"""
+
+import pytest
+
+from repro.factory import Pi8Factory
+from repro.reporting import run_experiment
+
+
+def test_bench_table8(benchmark):
+    factory = benchmark(Pi8Factory)
+    print()
+    print(run_experiment("table8"))
+    assert factory.unit_counts == {
+        "cat_state_prepare": 4,
+        "transversal_interact": 1,
+        "decode_store": 4,
+        "h_measure_correct": 2,
+    }
+    assert factory.functional_area == 147
+    assert factory.crossbar_areas == [48, 104, 104]
+    assert factory.area == 403
+    assert factory.throughput_per_ms == pytest.approx(18.3, abs=0.05)
+    # The factory consumes one encoded zero per output (Section 4.4.2).
+    assert factory.zero_ancilla_demand_per_ms == pytest.approx(
+        factory.throughput_per_ms
+    )

@@ -1,0 +1,19 @@
+"""Benchmark: Tables 1 and 4 — the technology inputs.
+
+These are the paper's assumed physical latencies; the benchmark times
+parameter-record construction (trivially fast) and asserts the exact
+values so any drift in defaults fails loudly.
+"""
+
+from repro.reporting import run_experiment
+from repro.tech import ion_trap_params
+
+
+def test_bench_table1_and_4(benchmark):
+    tech = benchmark(ion_trap_params)
+    assert (tech.t_1q, tech.t_2q, tech.t_meas, tech.t_prep) == (1, 10, 50, 51)
+    assert (tech.t_move, tech.t_turn) == (1, 10)
+    print()
+    print(run_experiment("table1"))
+    print()
+    print(run_experiment("table4"))

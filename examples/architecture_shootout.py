@@ -1,0 +1,47 @@
+"""QLA vs CQLA vs Qalypso on the carry-lookahead adder (Section 5).
+
+Reproduces the Figure 15 sweep for the 32-bit QCLA and the headline
+Qalypso-vs-CQLA comparison: at matched factory area the fully-multiplexed
+tile runs the kernel more than five times faster.
+
+Run:  python examples/architecture_shootout.py
+"""
+
+from repro import ArchitectureKind, analyze_kernel, area_breakdown, area_sweep
+from repro.arch.qalypso import compare_with_cqla, tile_for_kernel
+from repro.reporting.figures import ascii_plot
+
+
+def main() -> None:
+    kernel = analyze_kernel("qcla", 32)
+    matched = area_breakdown(kernel).factory_area
+    print(f"{kernel.name}: matched-demand factory area = {matched:.0f} macroblocks\n")
+
+    areas = [matched * f for f in (0.25, 0.5, 1, 2, 4, 16, 64, 256)]
+    curves = area_sweep(kernel, areas=areas)
+    plot = {
+        kind.value: [(p.x, p.makespan_us / 1000.0) for p in points]
+        for kind, points in curves.items()
+    }
+    print("Execution time (ms) vs ancilla-factory area (Figure 15):")
+    print(ascii_plot(plot, logx=True, logy=True, width=56, height=14))
+
+    for kind, points in curves.items():
+        plateau = points[-1].makespan_us / 1000.0
+        print(f"  {kind.value:<12} plateau: {plateau:8.1f} ms")
+
+    tile = tile_for_kernel(kernel)
+    comparison = compare_with_cqla(kernel)
+    print(f"\nQalypso tile: {tile.data_qubits} data qubits, "
+          f"{tile.zero_factories} zero + {tile.pi8_factories} pi/8 factories, "
+          f"{tile.total_area} mb total")
+    print(f"At {comparison.factory_area:.0f} mb of factories:")
+    print(f"  Qalypso (fully-multiplexed): {comparison.qalypso.makespan_ms:8.1f} ms")
+    print(f"  CQLA:                        {comparison.cqla.makespan_ms:8.1f} ms "
+          f"({comparison.cqla.cache_misses} cache misses)")
+    print(f"  speedup: {comparison.speedup:.1f}x  "
+          f"(paper claims 'more than five times')")
+
+
+if __name__ == "__main__":
+    main()

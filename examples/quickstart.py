@@ -1,0 +1,51 @@
+"""Quickstart: the library in five minutes.
+
+Builds the paper's ancilla factories, characterizes a benchmark kernel,
+and prints the chip provisioning needed to run it at the speed of data.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro
+
+
+def main() -> None:
+    # 1. The two factory designs of Section 4.4, under ion-trap latencies.
+    zero_factory = repro.PipelinedZeroFactory()
+    pi8_factory = repro.Pi8Factory()
+    print("Pipelined encoded-zero factory:")
+    print(f"  area       {zero_factory.area} macroblocks")
+    print(f"  throughput {zero_factory.throughput_per_ms:.1f} encoded zeros / ms")
+    print(f"  units      {zero_factory.unit_counts}")
+    print("Encoded pi/8 factory:")
+    print(f"  area       {pi8_factory.area} macroblocks")
+    print(f"  throughput {pi8_factory.throughput_per_ms:.1f} encoded pi/8 / ms")
+    print()
+
+    # 2. Characterize the 32-bit carry-lookahead adder (Section 3).
+    kernel = repro.analyze_kernel("qcla", width=32)
+    print(f"{kernel.name}: {kernel.total_gates} encoded gates, "
+          f"{kernel.pi8_gate_count} of them pi/8-type "
+          f"({kernel.non_transversal_fraction:.0%} non-transversal)")
+    print(f"  speed-of-data execution: {kernel.execution_time_us / 1000:.1f} ms")
+    print(f"  ancilla bandwidth:       {kernel.zero_bandwidth_per_ms:.0f} zeros/ms, "
+          f"{kernel.pi8_bandwidth_per_ms:.0f} pi/8/ms")
+    print()
+
+    # 3. Provision a chip for it (Table 9).
+    breakdown = repro.area_breakdown(kernel)
+    print(f"Chip provisioning for {kernel.name}:")
+    print(f"  data region    {breakdown.data_area:.0f} mb ({breakdown.data_fraction:.0%})")
+    print(f"  QEC factories  {breakdown.qec_factory_area:.0f} mb "
+          f"({breakdown.qec_factory_fraction:.0%})")
+    print(f"  pi/8 factories {breakdown.pi8_factory_area:.0f} mb "
+          f"({breakdown.pi8_factory_fraction:.0%})")
+    print(f"  => {breakdown.ancilla_fraction:.0%} of the chip makes ancillae")
+    print()
+
+    # 4. Any reproduced table or figure is one call away.
+    print(repro.run_experiment("table3"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Provisioning a chip for Shor-style workloads (Section 3.1).
+
+The paper picks its three benchmarks because they are "core kernels of a
+varied array of quantum algorithms, including Shor's factorization
+algorithm". A machine running Shor interleaves modular arithmetic (built
+from adders) with QFT stages, so its ancilla infrastructure must satisfy
+whichever kernel is live. This example plans that chip:
+
+1. characterize all three kernels;
+2. provision factories for the *worst-case* bandwidth across them;
+3. size Qalypso tiles for each phase and report the shared-chip total;
+4. show the peak-vs-average argument for multiplexing factories rather
+   than dedicating them.
+
+Run:  python examples/shor_kernel_planning.py
+"""
+
+from repro import analyze_kernel, area_breakdown
+from repro.arch.qalypso import tile_for_kernel
+from repro.factory import Pi8Factory, PipelinedZeroFactory
+
+
+def main() -> None:
+    kernels = [analyze_kernel(name, 32) for name in ("qrca", "qcla", "qft")]
+    print("Kernel demands at the speed of data:")
+    for ka in kernels:
+        print(f"  {ka.name:<14} {ka.zero_bandwidth_per_ms:7.1f} zeros/ms  "
+              f"{ka.pi8_bandwidth_per_ms:6.1f} pi/8/ms  "
+              f"({ka.data_qubits} data qubits)")
+
+    # Worst-case provisioning: the chip must keep the hungriest phase fed.
+    peak_zero = max(ka.zero_bandwidth_per_ms for ka in kernels)
+    peak_pi8 = max(ka.pi8_bandwidth_per_ms for ka in kernels)
+    zero_factory = PipelinedZeroFactory()
+    pi8_factory = Pi8Factory()
+    import math
+
+    pi8_count = math.ceil(peak_pi8 / pi8_factory.throughput_per_ms)
+    zero_count = math.ceil(
+        (peak_zero + pi8_count * pi8_factory.throughput_per_ms)
+        / zero_factory.throughput_per_ms
+    )
+    factory_area = zero_count * zero_factory.area + pi8_count * pi8_factory.area
+    data_qubits = max(ka.data_qubits for ka in kernels)
+    print(f"\nShared chip for all phases:")
+    print(f"  {zero_count} zero factories + {pi8_count} pi/8 factories "
+          f"= {factory_area} macroblocks of generation")
+    print(f"  data region: {7 * data_qubits} macroblocks "
+          f"({data_qubits} encoded qubits)")
+    total = factory_area + 7 * data_qubits
+    print(f"  total {total} mb; {factory_area / total:.0%} is ancilla generation")
+
+    # Why share? Dedicating per-phase factories wastes the difference.
+    dedicated = sum(area_breakdown(ka).factory_area for ka in kernels)
+    print(f"\nIf each phase had dedicated factories: {dedicated:.0f} mb "
+          f"of generation ({dedicated / factory_area:.1f}x the shared chip) —")
+    print("the multiplexing argument of Figure 14b applied across phases.")
+
+    print("\nPer-phase Qalypso tiles for comparison:")
+    for ka in kernels:
+        tile = tile_for_kernel(ka)
+        print(f"  {ka.name:<14} {tile.zero_factories:>3} zero + "
+              f"{tile.pi8_factories} pi/8 factories, {tile.total_area} mb")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+The offline environment lacks the ``wheel`` package that PEP 517 editable
+installs require, so this shim enables the legacy path:
+``pip install -e . --no-build-isolation --no-use-pep517``.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,49 @@
+"""Command-line entry point: regenerate paper artifacts.
+
+Usage::
+
+    python -m repro list                 # list reproducible artifacts
+    python -m repro table3               # print one table/figure
+    python -m repro all                  # print everything (slow: runs
+                                         # the Monte Carlo and the sweeps)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.reporting import EXPERIMENTS, run_experiment
+
+
+def _list() -> int:
+    width = max(len(key) for key in EXPERIMENTS)
+    for key in sorted(EXPERIMENTS):
+        exp = EXPERIMENTS[key]
+        print(f"  {key:<{width}}  {exp.paper_ref:<22} {exp.description}")
+    return 0
+
+
+def main(argv: list | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args[0] in ("-h", "--help", "help"):
+        print(__doc__)
+        return 0
+    target = args[0]
+    if target == "list":
+        return _list()
+    if target == "all":
+        for key in sorted(EXPERIMENTS):
+            print(f"=== {key} ({EXPERIMENTS[key].paper_ref}) ===")
+            print(run_experiment(key))
+            print()
+        return 0
+    try:
+        print(run_experiment(target))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""Encoded-ancilla preparation: circuits, strategies and evaluation.
+
+Implements Section 2 of the paper:
+
+* :mod:`repro.ancilla.cat` — 3- and 7-qubit cat-state preparation;
+* :mod:`repro.ancilla.zero_prep` — the encoded-zero strategies of Figure 4
+  (basic, verify-only, correct-only, verify-and-correct) as circuit-level
+  constructions;
+* :mod:`repro.ancilla.evaluation` — Monte Carlo protocols grading each
+  strategy's output error rate (reproducing Figure 4's numbers);
+* :mod:`repro.ancilla.t_ancilla` — the encoded pi/8 ancilla circuit of
+  Figure 5b and its four-stage decomposition (Table 7);
+* :mod:`repro.ancilla.rotations` — Fowler H/T sequence synthesis for
+  pi/2^k rotations and the recursive exact construction of Figure 6.
+"""
+
+from repro.ancilla.cat import cat_prep_circuit
+from repro.ancilla.evaluation import (
+    PrepStrategy,
+    StrategyReport,
+    evaluate_strategies,
+    evaluate_strategy,
+)
+from repro.error.vectorized import evaluate_strategy_vectorized
+from repro.ancilla.rotations import (
+    RotationSynthesizer,
+    SynthesizedRotation,
+    recursive_rotation_expected_latency,
+)
+from repro.ancilla.t_ancilla import (
+    PI8_STAGE_NAMES,
+    pi8_ancilla_circuit,
+    pi8_consumption_circuit,
+)
+from repro.ancilla.zero_prep import (
+    basic_zero_circuit,
+    correct_only_circuit,
+    verify_and_correct_circuit,
+    verify_only_circuit,
+)
+
+__all__ = [
+    "PI8_STAGE_NAMES",
+    "PrepStrategy",
+    "RotationSynthesizer",
+    "StrategyReport",
+    "SynthesizedRotation",
+    "basic_zero_circuit",
+    "cat_prep_circuit",
+    "correct_only_circuit",
+    "evaluate_strategies",
+    "evaluate_strategy",
+    "evaluate_strategy_vectorized",
+    "pi8_ancilla_circuit",
+    "pi8_consumption_circuit",
+    "recursive_rotation_expected_latency",
+    "verify_and_correct_circuit",
+    "verify_only_circuit",
+]

@@ -1,0 +1,142 @@
+"""Circuit-level constructions of the Figure 4 zero-prep strategies.
+
+Four strategies for producing a high-fidelity encoded |0> in the [[7,1,3]]
+code:
+
+* **basic** — the bare encoder of Figure 3b;
+* **verify-only** (Figure 4a) — encode, then verify against a 3-qubit cat
+  state and discard on failure;
+* **correct-only** (Figure 4b) — three bare encodings; the middle block is
+  bit-corrected by the first and phase-corrected by the third;
+* **verify-and-correct** (Figure 4c) — three *verified* encodings feeding
+  the same correction step.
+
+These constructions give the full physical circuits (for structure, gate
+counting and layout); the Monte Carlo grading of each strategy lives in
+:mod:`repro.ancilla.evaluation`, which replays the same structure while
+making the classical accept/decode decisions in Python.
+
+Conditional corrections appear here as transversal X/Z layers tagged
+``"conditional-correction"``: the decode that decides *which* qubit to flip
+is classical and not expressible gate-by-gate, but the latency and location
+cost is one transversal layer either way.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.circuits import Circuit
+from repro.circuits.gate import Gate, GateType
+from repro.codes.steane import steane_zero_prep_circuit
+
+#: Weight-3 representative of logical Z used for verification: the support
+#: of (Z^x7) times the stabilizer 1010101, i.e. qubits {1, 3, 5}.
+VERIFY_SUPPORT: Tuple[int, int, int] = (1, 3, 5)
+
+#: Number of verification (cat) qubits per verified block.
+CAT_WIDTH = 3
+
+
+def basic_zero_circuit() -> Circuit:
+    """The Basic Encoded Zero Ancilla Prepare (Figure 3b)."""
+    return steane_zero_prep_circuit(include_prep=True)
+
+
+def _append_verification(circ: Circuit, block: Sequence[int], cats: Sequence[int],
+                         label: str) -> None:
+    """Cat-prep plus transversal parity check of logical Z on ``block``.
+
+    Data qubits control CXs onto the cat qubits so X errors on the verify
+    support copy onto the cat; the cat is then measured and the parity of
+    outcomes accepts or rejects the block.
+    """
+    if len(cats) != CAT_WIDTH:
+        raise ValueError(f"verification needs {CAT_WIDTH} cat qubits, got {len(cats)}")
+    for q in cats:
+        circ.prep_0(q)
+    circ.h(cats[0])
+    circ.cx(cats[0], cats[1])
+    circ.cx(cats[1], cats[2])
+    for data_q, cat_q in zip((block[i] for i in VERIFY_SUPPORT), cats):
+        circ.cx(data_q, cat_q)
+    for i, cat_q in enumerate(cats):
+        circ.measure_z(cat_q, f"{label}_v{i}")
+
+
+def verify_only_circuit() -> Circuit:
+    """Figure 4a: basic encode plus one cat-state verification.
+
+    Qubits 0-6 are the encoded block; 7-9 are the cat.
+    """
+    circ = Circuit(7 + CAT_WIDTH, name="verify_only")
+    circ.compose(basic_zero_circuit(), qubit_map=range(7))
+    _append_verification(circ, range(7), (7, 8, 9), label="blk")
+    return circ
+
+
+def _append_bit_correction(circ: Circuit, target: Sequence[int],
+                           helper: Sequence[int], label: str) -> None:
+    """Bit-correct ``target`` using encoded-zero ``helper`` (consumed).
+
+    Transversal CX (target block controls) copies the target's X errors onto
+    the helper; measuring the helper in the Z basis yields a codeword whose
+    Hamming syndrome locates the X error; a conditional transversal X layer
+    repairs the target.
+    """
+    for tq, hq in zip(target, helper):
+        circ.cx(tq, hq)
+    for i, hq in enumerate(helper):
+        circ.measure_z(hq, f"{label}_m{i}")
+    for tq in target:
+        circ.append(Gate(GateType.X, (tq,), tag="conditional-correction"))
+
+
+def _append_phase_correction(circ: Circuit, target: Sequence[int],
+                             helper: Sequence[int], label: str) -> None:
+    """Phase-correct ``target`` using encoded-zero ``helper`` (consumed).
+
+    Transversal CX with the helper controlling copies the target's Z errors
+    onto the helper; measuring the helper in the X basis yields the phase
+    syndrome; a conditional transversal Z layer repairs the target.
+    """
+    for tq, hq in zip(target, helper):
+        circ.cx(hq, tq)
+    for i, hq in enumerate(helper):
+        circ.measure_x(hq, f"{label}_m{i}")
+    for tq in target:
+        circ.append(Gate(GateType.Z, (tq,), tag="conditional-correction"))
+
+
+def correct_only_circuit() -> Circuit:
+    """Figure 4b: three bare encodings; middle bit- then phase-corrected.
+
+    Qubits 0-6 are the bit-correction helper (top block of the figure),
+    7-13 the output block, 14-20 the phase-correction helper.
+    """
+    circ = Circuit(21, name="correct_only")
+    top = list(range(0, 7))
+    mid = list(range(7, 14))
+    bottom = list(range(14, 21))
+    for block in (top, mid, bottom):
+        circ.compose(basic_zero_circuit(), qubit_map=block)
+    _append_bit_correction(circ, mid, top, label="bit")
+    _append_phase_correction(circ, mid, bottom, label="phase")
+    return circ
+
+
+def verify_and_correct_circuit() -> Circuit:
+    """Figure 4c: three verified encodings; middle bit- then phase-corrected.
+
+    Layout: qubits 0-6 / 7-13 / 14-20 are the three encoded blocks
+    (helper, output, helper) and 21-23 / 24-26 / 27-29 their cat qubits.
+    """
+    circ = Circuit(30, name="verify_and_correct")
+    blocks = [list(range(0, 7)), list(range(7, 14)), list(range(14, 21))]
+    cats = [(21, 22, 23), (24, 25, 26), (27, 28, 29)]
+    for i, (block, cat) in enumerate(zip(blocks, cats)):
+        circ.compose(basic_zero_circuit(), qubit_map=block)
+        _append_verification(circ, block, cat, label=f"b{i}")
+    _append_bit_correction(circ, blocks[1], blocks[0], label="bit")
+    _append_phase_correction(circ, blocks[1], blocks[2], label="phase")
+    return circ

@@ -1,0 +1,82 @@
+"""Chip provisioning: the Table 9 area breakdown.
+
+For a kernel to run at the speed of data, the chip must generate encoded
+ancillae at the Table 3 bandwidths. Components:
+
+* data area — 7 macroblocks per encoded data qubit (Figure 10);
+* QEC zero factories — pipelined zero factories (298 mb per 10.5/ms)
+  sized to the QEC zero bandwidth;
+* pi/8 factories — conversion pipelines (403 mb per 18.3/ms) *plus* the
+  zero factories supplying them, sized to the pi/8 bandwidth.
+
+Fractional factory replication is allowed, matching the paper's table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.factory.pipelined import PipelinedZeroFactory
+from repro.factory.t_factory import Pi8Factory
+from repro.kernels.analysis import KernelAnalysis
+from repro.layout.region import data_qubit_area
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Per-kernel chip area split (one Table 9 row)."""
+
+    kernel: str
+    zero_bandwidth_per_ms: float
+    pi8_bandwidth_per_ms: float
+    data_area: float
+    qec_factory_area: float
+    pi8_factory_area: float
+
+    @property
+    def factory_area(self) -> float:
+        """Total encoded-ancilla generation area."""
+        return self.qec_factory_area + self.pi8_factory_area
+
+    @property
+    def total_area(self) -> float:
+        return self.data_area + self.factory_area
+
+    @property
+    def data_fraction(self) -> float:
+        return self.data_area / self.total_area
+
+    @property
+    def qec_factory_fraction(self) -> float:
+        return self.qec_factory_area / self.total_area
+
+    @property
+    def pi8_factory_fraction(self) -> float:
+        return self.pi8_factory_area / self.total_area
+
+    @property
+    def ancilla_fraction(self) -> float:
+        """Fraction of the chip devoted to ancilla generation — the
+        paper's headline: at least two-thirds even for the serial QRCA."""
+        return self.factory_area / self.total_area
+
+
+def area_breakdown(analysis: KernelAnalysis) -> AreaBreakdown:
+    """Compute the Table 9 row for a characterized kernel."""
+    tech = analysis.tech
+    zero_factory = PipelinedZeroFactory(tech)
+    pi8_factory = Pi8Factory(tech)
+    zero_bw = analysis.zero_bandwidth_per_ms
+    pi8_bw = analysis.pi8_bandwidth_per_ms
+    qec_area = zero_factory.area_for_bandwidth(zero_bw)
+    # pi/8 column: conversion pipelines plus the zero factories feeding
+    # them (one encoded zero consumed per pi/8 output).
+    pi8_area = pi8_factory.area_for_bandwidth(pi8_bw) + zero_factory.area_for_bandwidth(pi8_bw)
+    return AreaBreakdown(
+        kernel=analysis.name,
+        zero_bandwidth_per_ms=zero_bw,
+        pi8_bandwidth_per_ms=pi8_bw,
+        data_area=float(data_qubit_area(analysis.data_qubits)),
+        qec_factory_area=qec_area,
+        pi8_factory_area=pi8_area,
+    )

@@ -1,0 +1,177 @@
+"""Event-based dataflow simulation of kernel execution (Section 5.2).
+
+The simulator walks the decomposed kernel's dependency DAG in program
+order (which is topological). Each gate starts once
+
+* its data dependencies have finished,
+* its operand qubits are free,
+* its ancillae are available from the architecture's supply model
+  (two corrected zeros for the QEC step; one pi/8 for T-type gates), and
+* any architecture movement (teleports, cache-miss fills) has completed;
+
+it then occupies its qubits for gate latency plus the data/QEC interaction.
+CQLA cache behavior follows the paper's sim-cache-style approach: an LRU
+set of resident qubits, with misses teleporting qubits in through a
+limited number of ports and dirty evictions teleporting out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.arch.architectures import (
+    ArchitectureKind,
+    CqlaConfig,
+    teleport_latency,
+)
+from repro.arch.supply import PI8, ZERO, AncillaSupply, InfiniteSupply
+from repro.circuits import Circuit
+from repro.circuits.gate import GateType
+from repro.circuits.latency import LogicalLatencyModel
+from repro.tech import ION_TRAP, TechnologyParams
+
+_PI8_TYPES = (GateType.T, GateType.T_DAG)
+
+#: Encoded zeros per QEC step (bit + phase correction).
+ZEROS_PER_QEC = 2
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one dataflow simulation."""
+
+    makespan_us: float
+    gates: int
+    zero_ancillae_consumed: int
+    pi8_ancillae_consumed: int
+    cache_misses: int = 0
+    teleports: int = 0
+
+    @property
+    def makespan_ms(self) -> float:
+        return self.makespan_us / 1000.0
+
+
+class _LruCache:
+    """LRU residency set over qubit ids."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._order: Dict[int, int] = {}
+        self._clock = 0
+
+    def __contains__(self, qubit: int) -> bool:
+        return qubit in self._order
+
+    def touch(self, qubit: int) -> Optional[int]:
+        """Mark ``qubit`` resident; returns an evicted qubit or None."""
+        evicted = None
+        if qubit not in self._order and len(self._order) >= self.capacity:
+            evicted = min(self._order, key=self._order.get)
+            del self._order[evicted]
+        self._clock += 1
+        self._order[qubit] = self._clock
+        return evicted
+
+
+class DataflowSimulator:
+    """Simulates kernel execution under an architecture's constraints.
+
+    Args:
+        circuit: Decomposed (encoded-gate-set) kernel circuit.
+        tech: Technology parameters.
+        supply: Ancilla supply model; defaults to infinite (speed of data).
+        movement_penalty_us: Per-gate movement latency added before the
+            gate (architecture-dependent; 0 for the pure dataflow bound).
+        cqla: When given, enables compute-cache modeling with this config.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        tech: TechnologyParams = ION_TRAP,
+        supply: Optional[AncillaSupply] = None,
+        movement_penalty_us: float = 0.0,
+        two_qubit_movement_penalty_us: Optional[float] = None,
+        cqla: Optional[CqlaConfig] = None,
+    ) -> None:
+        self.circuit = circuit
+        self.tech = tech
+        self.supply = supply if supply is not None else InfiniteSupply()
+        self.move_1q = movement_penalty_us
+        self.move_2q = (
+            two_qubit_movement_penalty_us
+            if two_qubit_movement_penalty_us is not None
+            else movement_penalty_us
+        )
+        self.cqla = cqla
+        self._logical = LogicalLatencyModel(tech)
+
+    def run(self) -> SimulationResult:
+        tech = self.tech
+        logical = self._logical
+        qec_interact = logical.qec_interaction_latency()
+        qubit_free = [0.0] * self.circuit.num_qubits
+        bit_ready: Dict[str, float] = {}
+        cache = None
+        ports: List[float] = []
+        misses = 0
+        teleports = 0
+        if self.cqla is not None:
+            cache = _LruCache(self.cqla.cache_size(self.circuit.num_qubits))
+            ports = [0.0] * self.cqla.ports
+        t_teleport = teleport_latency(tech)
+        zeros = 0
+        pi8s = 0
+        makespan = 0.0
+        for gate in self.circuit:
+            qubits = gate.qubits
+            start = max(qubit_free[q] for q in qubits)
+            if gate.condition is not None:
+                start = max(start, bit_ready.get(gate.condition, 0.0))
+            # Cache fills: each non-resident operand teleports in through
+            # the earliest-free port; dirty evictions teleport out first.
+            if cache is not None:
+                for q in qubits:
+                    if q in cache:
+                        cache.touch(q)
+                        continue
+                    misses += 1
+                    evicted = cache.touch(q)
+                    trips = 1 + (1 if evicted is not None else 0)
+                    for _ in range(trips):
+                        teleports += 1
+                        port = min(range(len(ports)), key=ports.__getitem__)
+                        begin = max(ports[port], start)
+                        ports[port] = begin + t_teleport
+                        start = ports[port]
+            # Architecture movement for the gate itself.
+            movement = self.move_2q if gate.is_two_qubit else self.move_1q
+            if movement and not (gate.is_prep or gate.is_measurement):
+                if movement >= t_teleport:
+                    teleports += 1 if not gate.is_two_qubit else 2
+                start += movement
+            # Ancilla availability.
+            home = qubits[0]
+            start = max(start, self.supply.acquire(ZERO, home, ZEROS_PER_QEC, start))
+            zeros += ZEROS_PER_QEC
+            if gate.gate_type in _PI8_TYPES:
+                start = max(start, self.supply.acquire(PI8, home, 1, start))
+                pi8s += 1
+            finish = start + logical.gate_latency(gate) + qec_interact
+            for q in qubits:
+                qubit_free[q] = finish
+            if gate.result is not None:
+                bit_ready[gate.result] = finish
+            makespan = max(makespan, finish)
+        return SimulationResult(
+            makespan_us=makespan,
+            gates=len(self.circuit),
+            zero_ancillae_consumed=zeros,
+            pi8_ancillae_consumed=pi8s,
+            cache_misses=misses,
+            teleports=teleports,
+        )

@@ -1,0 +1,160 @@
+"""Parameter sweeps: Figure 8 (throughput) and Figure 15 (area).
+
+Figure 8: execution time as a function of a steady encoded-zero ancilla
+throughput, holding pi/8 supply proportional. The curve falls steeply
+until the throughput crosses the kernel's average bandwidth (Table 3) and
+then flattens at the speed-of-data floor.
+
+Figure 15: execution time as a function of total ancilla-factory area for
+the QLA, CQLA and Fully-Multiplexed microarchitectures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.arch.architectures import (
+    ArchitectureKind,
+    CqlaConfig,
+    MultiplexedConfig,
+    QlaConfig,
+)
+from repro.arch.simulator import DataflowSimulator, SimulationResult
+from repro.arch.supply import SteadyRateSupply, PI8, ZERO
+from repro.kernels.analysis import KernelAnalysis
+from repro.tech import TechnologyParams
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample."""
+
+    x: float
+    makespan_us: float
+    result: SimulationResult
+
+
+def throughput_sweep(
+    analysis: KernelAnalysis,
+    throughputs_per_ms: Optional[Sequence[float]] = None,
+) -> List[SweepPoint]:
+    """Figure 8: execution time vs steady encoded-zero throughput.
+
+    The pi/8 supply scales with the zero supply in the kernel's demand
+    ratio, isolating the zero-bandwidth axis as in the paper's figure.
+
+    Args:
+        analysis: Characterized kernel.
+        throughputs_per_ms: Zero-ancilla rates to sample; defaults to a
+            logarithmic sweep bracketing the kernel's average bandwidth.
+    """
+    avg = analysis.zero_bandwidth_per_ms
+    if throughputs_per_ms is None:
+        throughputs_per_ms = np.geomspace(avg / 16.0, avg * 16.0, 17)
+    pi8_ratio = (
+        analysis.pi8_bandwidth_per_ms / avg if avg > 0 else 0.0
+    )
+    points = []
+    for rate in throughputs_per_ms:
+        supply = SteadyRateSupply({ZERO: rate, PI8: rate * pi8_ratio})
+        sim = DataflowSimulator(analysis.circuit, analysis.tech, supply=supply)
+        result = sim.run()
+        points.append(SweepPoint(float(rate), result.makespan_us, result))
+    return points
+
+
+def _simulate_architecture(
+    analysis: KernelAnalysis,
+    kind: ArchitectureKind,
+    area: float,
+    tech: TechnologyParams,
+    cqla: Optional[CqlaConfig] = None,
+) -> SimulationResult:
+    zero_demand = analysis.zero_bandwidth_per_ms
+    pi8_demand = analysis.pi8_bandwidth_per_ms
+    nq = analysis.circuit.num_qubits
+    if kind is ArchitectureKind.QLA:
+        config = QlaConfig()
+        supply = config.build_supply(area, nq, zero_demand, pi8_demand, tech)
+        sim = DataflowSimulator(
+            analysis.circuit,
+            tech,
+            supply=supply,
+            movement_penalty_us=config.movement_penalty(False, tech),
+            two_qubit_movement_penalty_us=config.movement_penalty(True, tech),
+        )
+    elif kind is ArchitectureKind.CQLA:
+        config = cqla or CqlaConfig()
+        supply = config.build_supply(area, nq, zero_demand, pi8_demand, tech)
+        sim = DataflowSimulator(
+            analysis.circuit,
+            tech,
+            supply=supply,
+            movement_penalty_us=config.movement_penalty(False, tech),
+            two_qubit_movement_penalty_us=config.movement_penalty(True, tech),
+            cqla=config,
+        )
+    elif kind is ArchitectureKind.MULTIPLEXED:
+        config = MultiplexedConfig()
+        supply = config.build_supply(area, nq, zero_demand, pi8_demand, tech)
+        sim = DataflowSimulator(
+            analysis.circuit,
+            tech,
+            supply=supply,
+            movement_penalty_us=config.movement_penalty(False, tech),
+            two_qubit_movement_penalty_us=config.movement_penalty(True, tech),
+        )
+    else:
+        raise ValueError(f"unknown architecture {kind}")
+    return sim.run()
+
+
+def area_sweep(
+    analysis: KernelAnalysis,
+    areas: Optional[Sequence[float]] = None,
+    kinds: Sequence[ArchitectureKind] = tuple(ArchitectureKind),
+    cqla: Optional[CqlaConfig] = None,
+) -> Dict[ArchitectureKind, List[SweepPoint]]:
+    """Figure 15: execution time vs total ancilla-factory area per arch.
+
+    Args:
+        analysis: Characterized kernel.
+        areas: Factory-area budgets (macroblocks); defaults to a log sweep
+            from 1/8x to 512x the kernel's matched-demand area.
+        kinds: Architectures to simulate.
+        cqla: Optional CQLA configuration override.
+    """
+    from repro.arch.provisioning import area_breakdown
+
+    if areas is None:
+        matched = area_breakdown(analysis).factory_area
+        areas = np.geomspace(matched / 8.0, matched * 512.0, 14)
+    curves: Dict[ArchitectureKind, List[SweepPoint]] = {}
+    for kind in kinds:
+        points = []
+        for area in areas:
+            result = _simulate_architecture(analysis, kind, float(area),
+                                            analysis.tech, cqla)
+            points.append(SweepPoint(float(area), result.makespan_us, result))
+        curves[kind] = points
+    return curves
+
+
+def plateau_makespan(points: Sequence[SweepPoint]) -> float:
+    """Execution time in the asymptotic (largest-area) regime."""
+    if not points:
+        raise ValueError("empty sweep")
+    return points[-1].makespan_us
+
+
+def area_to_reach(
+    points: Sequence[SweepPoint], target_makespan_us: float
+) -> Optional[float]:
+    """Smallest sampled area whose makespan is within the target."""
+    for point in points:
+        if point.makespan_us <= target_makespan_us:
+            return point.x
+    return None

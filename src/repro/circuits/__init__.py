@@ -1,0 +1,53 @@
+"""Quantum circuit intermediate representation.
+
+This package provides the gate-level IR used throughout the library: a
+:class:`~repro.circuits.gate.Gate` record, a :class:`~repro.circuits.circuit.Circuit`
+container, and dataflow analyses (dependency DAG, ASAP schedule, critical
+path) in :mod:`repro.circuits.dag`.
+
+Circuits are used at two levels:
+
+* *physical* circuits over physical qubits (ancilla preparation, encoding),
+  whose latencies come from :class:`repro.tech.TechnologyParams`;
+* *logical* circuits over encoded qubits (the benchmark kernels), whose
+  per-gate costs come from the fault-tolerant constructions in
+  :mod:`repro.codes` and :mod:`repro.ancilla`.
+"""
+
+from repro.circuits.circuit import Circuit, CircuitError
+from repro.circuits.dag import CircuitDag, ScheduleEntry, asap_schedule, critical_path
+from repro.circuits.gate import (
+    CLIFFORD_GATES,
+    GATE_ARITY,
+    NON_TRANSVERSAL_GATES,
+    TRANSVERSAL_GATES,
+    TWO_QUBIT_GATES,
+    Gate,
+    GateKind,
+    GateType,
+)
+from repro.circuits.latency import (
+    LatencyModel,
+    LogicalLatencyModel,
+    PhysicalLatencyModel,
+)
+
+__all__ = [
+    "CLIFFORD_GATES",
+    "Circuit",
+    "CircuitDag",
+    "CircuitError",
+    "GATE_ARITY",
+    "Gate",
+    "GateKind",
+    "GateType",
+    "LatencyModel",
+    "LogicalLatencyModel",
+    "NON_TRANSVERSAL_GATES",
+    "PhysicalLatencyModel",
+    "ScheduleEntry",
+    "TRANSVERSAL_GATES",
+    "TWO_QUBIT_GATES",
+    "asap_schedule",
+    "critical_path",
+]

@@ -1,0 +1,27 @@
+"""Quantum error correcting codes.
+
+The paper works exclusively with the [[7,1,3]] Steane CSS code
+(Section 2.1). This package provides a generic CSS-code record plus the
+Steane instance with its stabilizers, logical operators, encoding circuit
+(Figure 3b), syndrome decoding, and transversal-gate rules.
+"""
+
+from repro.codes.css import CssCode
+from repro.codes.steane import (
+    STEANE,
+    steane_code,
+    steane_zero_prep_circuit,
+)
+from repro.codes.transversal import (
+    TransversalRule,
+    transversal_rule,
+)
+
+__all__ = [
+    "CssCode",
+    "STEANE",
+    "TransversalRule",
+    "steane_code",
+    "steane_zero_prep_circuit",
+    "transversal_rule",
+]

@@ -1,0 +1,112 @@
+"""The [[7,1,3]] Steane code and its encoding circuit (Figure 3b).
+
+The Steane code is built from the [7,4,3] Hamming code: both the X- and
+Z-type stabilizer generators have the Hamming parity-check matrix as their
+supports. The basic encoded-zero preparation circuit consists of three
+Hadamards and nine CX gates arranged in three fully parallel rounds —
+exactly the structure shown in the paper's Figure 3b and exploited by the
+pipelined CX stage of Section 4.4.1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.circuits import Circuit
+from repro.codes.css import CssCode
+
+#: Parity-check matrix of the [7,4,3] Hamming code. Row supports are the
+#: stabilizer generators of the Steane code (both X- and Z-type).
+HAMMING_PARITY_CHECK = np.array(
+    [
+        [0, 0, 0, 1, 1, 1, 1],
+        [0, 1, 1, 0, 0, 1, 1],
+        [1, 0, 1, 0, 1, 0, 1],
+    ],
+    dtype=np.uint8,
+)
+
+#: Qubits receiving a Hadamard in the encoder: the pivot column of each
+#: stabilizer row (rows listed bottom-up so pivots are 0, 1, 3).
+ENCODER_H_QUBITS: Tuple[int, ...] = (0, 1, 3)
+
+#: The nine encoder CX gates as (control, target), grouped into three rounds
+#: of three gates that touch disjoint qubits and can run in parallel
+#: (Section 4.4.1: "the first three CX's can be performed in parallel, as
+#: can the next three, followed by the final three").
+ENCODER_CX_ROUNDS: Tuple[Tuple[Tuple[int, int], ...], ...] = (
+    ((0, 2), (1, 5), (3, 6)),
+    ((0, 4), (1, 6), (3, 5)),
+    ((0, 6), (1, 2), (3, 4)),
+)
+
+
+def steane_code() -> CssCode:
+    """Construct the [[7,1,3]] Steane code instance."""
+    return CssCode(
+        name="Steane",
+        n=7,
+        k=1,
+        d=3,
+        x_stabilizers=HAMMING_PARITY_CHECK,
+        z_stabilizers=HAMMING_PARITY_CHECK,
+        logical_x=np.ones(7, dtype=np.uint8),
+        logical_z=np.ones(7, dtype=np.uint8),
+    )
+
+
+STEANE = steane_code()
+
+
+def steane_zero_prep_circuit(include_prep: bool = True) -> Circuit:
+    """The Basic Encoded Zero Ancilla Prepare circuit (Figure 3b).
+
+    Args:
+        include_prep: Include the seven physical |0> preparations. Factories
+            that receive already-prepared physical qubits from a Zero Prep
+            stage set this False.
+
+    Returns:
+        A 7-qubit circuit: physical preps, Hadamards on the pivot qubits,
+        then three rounds of three parallel CX gates.
+    """
+    circ = Circuit(7, name="basic_zero_prep")
+    if include_prep:
+        for q in range(7):
+            circ.prep_0(q)
+    for q in ENCODER_H_QUBITS:
+        circ.h(q)
+    for round_gates in ENCODER_CX_ROUNDS:
+        for control, target in round_gates:
+            circ.cx(control, target)
+    return circ
+
+
+def encoder_cx_list() -> List[Tuple[int, int]]:
+    """The nine encoder CX gates flattened in schedule order."""
+    return [pair for round_gates in ENCODER_CX_ROUNDS for pair in round_gates]
+
+
+def _validate_encoder() -> None:
+    """Structural self-checks, run at import time.
+
+    The CX rounds must each touch disjoint qubits, and each stabilizer row's
+    pivot must fan out to exactly the rest of its support.
+    """
+    for round_gates in ENCODER_CX_ROUNDS:
+        touched = [q for pair in round_gates for q in pair]
+        if len(set(touched)) != len(touched):
+            raise AssertionError(f"encoder CX round not parallel: {round_gates}")
+    for pivot, row in zip(ENCODER_H_QUBITS, HAMMING_PARITY_CHECK[::-1]):
+        support = {i for i, bit in enumerate(row) if bit}
+        targets = {t for (c, t) in encoder_cx_list() if c == pivot}
+        if support != targets | {pivot}:
+            raise AssertionError(
+                f"encoder row for pivot {pivot} covers {targets}, "
+                f"stabilizer support is {support}"
+            )
+
+
+_validate_encoder()

@@ -1,0 +1,143 @@
+"""Transversal-gate rules for the [[7,1,3]] code (Sections 2.1 and 2.4).
+
+Maps each logical gate type to how it is implemented on encoded data:
+transversally (bitwise physical gates), or via an encoded-ancilla
+construction (the pi/8 gate and the rotations built from it).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.circuits.gate import (
+    GATE_ARITY,
+    NON_TRANSVERSAL_GATES,
+    Gate,
+    GateType,
+)
+
+
+class Implementation(enum.Enum):
+    """How an encoded gate is realized."""
+
+    TRANSVERSAL = "transversal"
+    ANCILLA = "ancilla"  # consumes a prepared encoded ancilla (pi/8 style)
+    DECOMPOSED = "decomposed"  # rewritten into other gates first
+
+
+@dataclass(frozen=True)
+class TransversalRule:
+    """Implementation rule for one encoded gate type.
+
+    Attributes:
+        gate_type: The logical gate.
+        implementation: Realization strategy on the [[7,1,3]] code.
+        physical_gate: For transversal gates, the physical gate applied
+            bitwise (identical to the logical gate for this code).
+        ancillae_required: Number of encoded pi/8 ancillae consumed when the
+            implementation is ANCILLA (before decomposition of rotations).
+        self_dual_note: Short explanation for documentation output.
+    """
+
+    gate_type: GateType
+    implementation: Implementation
+    physical_gate: GateType | None = None
+    ancillae_required: int = 0
+    note: str = ""
+
+
+_RULES = {}
+
+
+def _rule(
+    gate_type: GateType,
+    implementation: Implementation,
+    physical_gate: GateType | None = None,
+    ancillae_required: int = 0,
+    note: str = "",
+) -> None:
+    _RULES[gate_type] = TransversalRule(
+        gate_type, implementation, physical_gate, ancillae_required, note
+    )
+
+
+_rule(GateType.X, Implementation.TRANSVERSAL, GateType.X)
+_rule(GateType.Y, Implementation.TRANSVERSAL, GateType.Y)
+_rule(GateType.Z, Implementation.TRANSVERSAL, GateType.Z)
+_rule(
+    GateType.H,
+    Implementation.TRANSVERSAL,
+    GateType.H,
+    note="the Steane code is self-dual, so bitwise H implements logical H",
+)
+_rule(
+    GateType.S,
+    Implementation.TRANSVERSAL,
+    GateType.S_DAG,
+    note="bitwise S-dagger implements logical S on the Steane code",
+)
+_rule(GateType.S_DAG, Implementation.TRANSVERSAL, GateType.S)
+_rule(GateType.CX, Implementation.TRANSVERSAL, GateType.CX)
+_rule(GateType.CZ, Implementation.TRANSVERSAL, GateType.CZ)
+_rule(GateType.MEASURE_Z, Implementation.TRANSVERSAL, GateType.MEASURE_Z)
+_rule(GateType.MEASURE_X, Implementation.TRANSVERSAL, GateType.MEASURE_X)
+_rule(GateType.PREP_0, Implementation.ANCILLA, note="fresh encoded zero from factory")
+_rule(GateType.PREP_PLUS, Implementation.ANCILLA, note="encoded zero plus transversal H")
+_rule(
+    GateType.T,
+    Implementation.ANCILLA,
+    ancillae_required=1,
+    note="consumes one encoded pi/8 ancilla (Figure 5a)",
+)
+_rule(GateType.T_DAG, Implementation.ANCILLA, ancillae_required=1)
+_rule(
+    GateType.RZ,
+    Implementation.DECOMPOSED,
+    note="synthesized into H/T sequences (Fowler, Section 2.5)",
+)
+_rule(
+    GateType.CRZ,
+    Implementation.DECOMPOSED,
+    note="CX plus three single-qubit rotations (Section 2.5)",
+)
+_rule(
+    GateType.CS,
+    Implementation.DECOMPOSED,
+    note="controlled-S decomposes into CX and T-layer gates",
+)
+_rule(GateType.SWAP, Implementation.TRANSVERSAL, GateType.SWAP)
+_rule(
+    GateType.CCX,
+    Implementation.DECOMPOSED,
+    note="Toffoli macro; decomposes into H, T and CX before encoded execution",
+)
+
+
+def transversal_rule(gate_type: GateType) -> TransversalRule:
+    """Implementation rule for ``gate_type`` on the [[7,1,3]] code."""
+    return _RULES[gate_type]
+
+
+def is_directly_executable(gate: Gate) -> bool:
+    """Whether the encoded gate runs without prior decomposition."""
+    rule = transversal_rule(gate.gate_type)
+    return rule.implementation is not Implementation.DECOMPOSED
+
+
+def pi8_ancillae_for(gate: Gate) -> int:
+    """Encoded pi/8 ancillae consumed directly by this gate."""
+    if gate.gate_type in NON_TRANSVERSAL_GATES:
+        rule = transversal_rule(gate.gate_type)
+        return rule.ancillae_required
+    return 0
+
+
+def assert_universal_coverage() -> None:
+    """Every gate type must have a rule (import-time self-check)."""
+    missing = [g for g in GATE_ARITY if g not in _RULES]
+    if missing:
+        raise AssertionError(f"gate types without transversal rules: {missing}")
+
+
+assert_universal_coverage()

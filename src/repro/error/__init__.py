@@ -1,0 +1,28 @@
+"""Pauli error modeling and Monte Carlo circuit evaluation (Section 2.2).
+
+The paper evaluates ancilla-preparation circuits by Monte Carlo simulation:
+errors are injected at every gate and movement operation (rates 1e-4 and
+1e-6) and propagated through the circuit, including the fact that two-qubit
+gates spread bit and phase flips between qubits. This package implements
+that machinery as a Pauli-frame simulator:
+
+* :mod:`repro.error.pauli` — the frame (X/Z bit vectors per qubit);
+* :mod:`repro.error.propagation` — Clifford conjugation rules;
+* :mod:`repro.error.montecarlo` — stochastic injection and trial running.
+"""
+
+from repro.error.montecarlo import (
+    MonteCarloResult,
+    MonteCarloSimulator,
+    TrialOutcome,
+)
+from repro.error.pauli import PauliFrame
+from repro.error.propagation import propagate_gate
+
+__all__ = [
+    "MonteCarloResult",
+    "MonteCarloSimulator",
+    "PauliFrame",
+    "TrialOutcome",
+    "propagate_gate",
+]

@@ -1,0 +1,227 @@
+"""Monte Carlo error simulation (paper Section 2.2).
+
+Errors are injected independently at every gate and movement operation and
+propagated through the circuit via Pauli-frame conjugation. One-qubit gate
+errors are uniform over {X, Y, Z}; two-qubit gate errors are uniform over
+the fifteen non-identity two-qubit Paulis (so correlated errors straddling
+both qubits occur, which is what makes single faults during encoding able to
+defeat a distance-3 code).
+
+Protocols (in :mod:`repro.ancilla.evaluation`) drive the simulator: they run
+circuits, read measurement flip bits, make accept/discard decisions and
+grade the surviving output block.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.circuits import Circuit
+from repro.circuits.gate import Gate
+from repro.error.pauli import PauliFrame
+from repro.error.propagation import measurement_flipped, propagate_gate
+from repro.tech import ErrorRates
+
+_ONE_QUBIT_PAULIS = ("X", "Y", "Z")
+_TWO_QUBIT_PAULIS = tuple(
+    (a, b)
+    for a in ("I", "X", "Y", "Z")
+    for b in ("I", "X", "Y", "Z")
+    if not (a == "I" and b == "I")
+)
+
+
+class TrialOutcome(Enum):
+    """Result of one Monte Carlo trial of a preparation protocol."""
+
+    GOOD = "good"
+    BAD = "bad"  # accepted output carries an uncorrectable error
+    DISCARDED = "discarded"  # verification rejected the attempt
+
+
+@dataclass
+class MonteCarloResult:
+    """Aggregated Monte Carlo statistics.
+
+    ``error_rate`` is failures over *accepted* trials, matching the paper's
+    convention: discarded ancillae are recycled, not counted as errors.
+    """
+
+    trials: int = 0
+    good: int = 0
+    bad: int = 0
+    discarded: int = 0
+
+    def record(self, outcome: TrialOutcome) -> None:
+        self.trials += 1
+        if outcome is TrialOutcome.GOOD:
+            self.good += 1
+        elif outcome is TrialOutcome.BAD:
+            self.bad += 1
+        else:
+            self.discarded += 1
+
+    @property
+    def accepted(self) -> int:
+        return self.good + self.bad
+
+    @property
+    def error_rate(self) -> float:
+        if self.accepted == 0:
+            return 0.0
+        return self.bad / self.accepted
+
+    @property
+    def discard_rate(self) -> float:
+        if self.trials == 0:
+            return 0.0
+        return self.discarded / self.trials
+
+    def error_rate_interval(self, z: float = 1.96) -> tuple:
+        """Wilson score interval for the error rate."""
+        n = self.accepted
+        if n == 0:
+            return (0.0, 1.0)
+        p = self.error_rate
+        denom = 1 + z * z / n
+        center = (p + z * z / (2 * n)) / denom
+        half = z * math.sqrt(p * (1 - p) / n + z * z / (4 * n * n)) / denom
+        return (max(0.0, center - half), min(1.0, center + half))
+
+    def merge(self, other: "MonteCarloResult") -> "MonteCarloResult":
+        return MonteCarloResult(
+            trials=self.trials + other.trials,
+            good=self.good + other.good,
+            bad=self.bad + other.bad,
+            discarded=self.discarded + other.discarded,
+        )
+
+
+class MonteCarloSimulator:
+    """Injects and propagates Pauli errors through circuits.
+
+    Args:
+        errors: Per-operation error probabilities.
+        seed: RNG seed; trials are reproducible given a seed.
+    """
+
+    def __init__(self, errors: Optional[ErrorRates] = None, seed: int = 0) -> None:
+        self.errors = errors or ErrorRates()
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Error injection primitives
+
+    def inject_gate_error(self, frame: PauliFrame, gate: Gate) -> None:
+        """With probability ``errors.gate``, corrupt the gate's qubits.
+
+        Preparation faults inject only X or Y: a Z error on a fresh |0>
+        acts trivially (|0> is a Z eigenstate), so injecting it would
+        manufacture fictitious error events.
+        """
+        if self.rng.random() >= self.errors.gate:
+            return
+        if gate.is_two_qubit:
+            a, b = gate.qubits
+            pa, pb = _TWO_QUBIT_PAULIS[self.rng.integers(len(_TWO_QUBIT_PAULIS))]
+            frame.apply_pauli(a, pa)
+            frame.apply_pauli(b, pb)
+        elif gate.is_prep:
+            q = gate.qubits[0]
+            frame.apply_pauli(q, ("X", "Y")[self.rng.integers(2)])
+        else:
+            q = gate.qubits[0]
+            frame.apply_pauli(q, _ONE_QUBIT_PAULIS[self.rng.integers(3)])
+
+    def inject_movement_error(
+        self, frame: PauliFrame, qubit: int, move_ops: int
+    ) -> None:
+        """Inject errors for ``move_ops`` movement operations on one qubit.
+
+        Each movement op independently corrupts the qubit with probability
+        ``errors.movement``. The number of faults is drawn binomially rather
+        than looping, since move counts can be large and rates tiny.
+        """
+        if move_ops <= 0 or self.errors.movement == 0.0:
+            return
+        faults = self.rng.binomial(move_ops, self.errors.movement)
+        for _ in range(faults):
+            frame.apply_pauli(qubit, _ONE_QUBIT_PAULIS[self.rng.integers(3)])
+
+    # ------------------------------------------------------------------
+    # Circuit execution
+
+    def run_circuit(
+        self,
+        circuit: Circuit,
+        frame: PauliFrame,
+        qubit_map: Optional[Dict[int, int]] = None,
+        moves_per_qubit_per_gate: float = 0.0,
+    ) -> Dict[str, int]:
+        """Run a circuit over an existing frame, injecting errors.
+
+        Gates execute in order: first the ideal conjugation, then stochastic
+        error injection. Measurement flip bits (whether the pending error
+        flips the ideal outcome) are returned keyed by result-bit name.
+        Classically conditioned gates fire when their condition bit's *flip*
+        is set — appropriate for syndrome-driven corrections whose ideal
+        outcome is the zero syndrome.
+
+        Args:
+            circuit: Circuit to execute.
+            frame: Frame over the full simulation register (mutated).
+            qubit_map: Maps circuit-local qubit indices into frame indices.
+            moves_per_qubit_per_gate: Average movement ops charged to each
+                involved qubit around each gate (a coarse layout proxy used
+                when no explicit schedule is attached).
+        """
+        qm = qubit_map or {}
+        flips: Dict[str, int] = {}
+        for gate in circuit:
+            mapped = (
+                gate
+                if not qm
+                else Gate(
+                    gate.gate_type,
+                    tuple(qm.get(q, q) for q in gate.qubits),
+                    angle_k=gate.angle_k,
+                    condition=gate.condition,
+                    result=gate.result,
+                )
+            )
+            if gate.condition is not None and not flips.get(gate.condition, 0):
+                continue
+            if moves_per_qubit_per_gate:
+                for q in mapped.qubits:
+                    self.inject_movement_error(
+                        frame, q, int(round(moves_per_qubit_per_gate))
+                    )
+            propagate_gate(frame, mapped)
+            if mapped.is_measurement:
+                flipped = measurement_flipped(frame, mapped)
+                if self.rng.random() < self.errors.measurement:
+                    flipped = not flipped
+                flips[gate.result] = int(flipped)
+                # Measurement collapses the qubit; its frame is consumed.
+                frame.clear(mapped.qubits[0])
+            else:
+                self.inject_gate_error(frame, mapped)
+        return flips
+
+    def estimate(
+        self,
+        trial: Callable[["MonteCarloSimulator"], TrialOutcome],
+        trials: int,
+    ) -> MonteCarloResult:
+        """Run a protocol trial function repeatedly and aggregate."""
+        if trials <= 0:
+            raise ValueError(f"trials must be positive, got {trials}")
+        result = MonteCarloResult()
+        for _ in range(trials):
+            result.record(trial(self))
+        return result

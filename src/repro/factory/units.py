@@ -1,0 +1,144 @@
+"""Functional units of the pipelined factories (Tables 5 and 7).
+
+Each unit processes batches of physical qubits through an internally
+pipelined schedule. Bandwidth follows the paper's convention:
+
+    BW (qubits/ms) = batch_qubits * internal_stages * 1000 / latency_us
+
+i.e. a unit with S internal pipeline stages accepts a new batch every
+``latency / S`` microseconds. Output bandwidth differs from input when the
+unit consumes qubits (verification measures and recycles the cat; B/P
+correction consumes two of three encoded ancillae) or discards failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.layout.schedules import (
+    PI8_FACTORY_SCHEDULES,
+    ZERO_FACTORY_SCHEDULES,
+    OpSchedule,
+)
+from repro.tech import ION_TRAP, TechnologyParams
+
+#: Fraction of encoded ancillae passing verification (Section 2.3: the
+#: Monte Carlo verification failure rate of the Figure 4a subunit is 0.2%).
+VERIFICATION_SURVIVAL = 0.998
+
+
+@dataclass(frozen=True)
+class FunctionalUnit:
+    """One pipelined functional unit.
+
+    Attributes:
+        name: Unit name as in Table 5 / Table 7.
+        schedule: Operation counts giving the unit's symbolic latency.
+        internal_stages: Pipeline stages inside the unit ("Stages" column).
+        qubits_in: Physical qubits consumed per batch.
+        qubits_out: Physical qubits emitted per batch (before survival).
+        survival: Fraction of batches surviving (verification discards).
+        area: Unit area in macroblocks.
+        height: Unit height in macroblock rows (sets crossbar sizes).
+    """
+
+    name: str
+    schedule: OpSchedule
+    internal_stages: int
+    qubits_in: int
+    qubits_out: int
+    area: int
+    height: int
+    survival: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.internal_stages < 1:
+            raise ValueError(f"{self.name}: internal_stages must be >= 1")
+        if self.qubits_in < 1 or self.qubits_out < 1:
+            raise ValueError(f"{self.name}: batch sizes must be >= 1")
+        if not 0.0 < self.survival <= 1.0:
+            raise ValueError(f"{self.name}: survival must be in (0, 1]")
+        if self.area < 1 or self.height < 1:
+            raise ValueError(f"{self.name}: area and height must be >= 1")
+
+    def latency(self, tech: TechnologyParams = ION_TRAP) -> float:
+        """Unit latency in microseconds (Table 5 column 3)."""
+        return self.schedule.latency(tech)
+
+    def initiation_interval(self, tech: TechnologyParams = ION_TRAP) -> float:
+        """Microseconds between successive batch starts."""
+        return self.latency(tech) / self.internal_stages
+
+    def bandwidth_in(self, tech: TechnologyParams = ION_TRAP) -> float:
+        """Input bandwidth in physical qubits per millisecond."""
+        return self.qubits_in * 1000.0 / self.initiation_interval(tech)
+
+    def bandwidth_out(self, tech: TechnologyParams = ION_TRAP) -> float:
+        """Output bandwidth in physical qubits per millisecond."""
+        return (
+            self.qubits_out * self.survival * 1000.0 / self.initiation_interval(tech)
+        )
+
+
+def zero_factory_units(tech: TechnologyParams = ION_TRAP) -> Dict[str, FunctionalUnit]:
+    """The five Table 5 functional units.
+
+    Batch sizes: the CX stage carries seven physical qubits per in-flight
+    batch (one nascent encoded qubit); cat prep carries three; verification
+    holds ten (seven data + three cat) and emits the surviving seven; B/P
+    correction holds three encoded ancillae (21 qubits) and emits one (7).
+    """
+    s = ZERO_FACTORY_SCHEDULES
+    return {
+        "zero_prep": FunctionalUnit(
+            "zero_prep", s["zero_prep"], internal_stages=1,
+            qubits_in=1, qubits_out=1, area=1, height=1,
+        ),
+        "cx_stage": FunctionalUnit(
+            "cx_stage", s["cx_stage"], internal_stages=3,
+            qubits_in=7, qubits_out=7, area=28, height=4,
+        ),
+        "cat_prep": FunctionalUnit(
+            "cat_prep", s["cat_prep"], internal_stages=2,
+            qubits_in=3, qubits_out=3, area=6, height=2,
+        ),
+        "verification": FunctionalUnit(
+            "verification", s["verification"], internal_stages=1,
+            qubits_in=10, qubits_out=7, area=10, height=10,
+            survival=VERIFICATION_SURVIVAL,
+        ),
+        "bp_correction": FunctionalUnit(
+            "bp_correction", s["bp_correction"], internal_stages=1,
+            qubits_in=21, qubits_out=7, area=21, height=21,
+        ),
+    }
+
+
+def pi8_units(tech: TechnologyParams = ION_TRAP) -> Dict[str, FunctionalUnit]:
+    """The four Table 7 stages of the encoded pi/8 factory.
+
+    Bandwidths are in physical qubits: the transversal-interact stage
+    handles fourteen qubits per batch (7-qubit cat plus encoded zero);
+    decode emits eight (the encoded block plus the decoded cat head qubit);
+    the final stage emits the seven-qubit pi/8 ancilla.
+    """
+    s = PI8_FACTORY_SCHEDULES
+    return {
+        "cat_state_prepare": FunctionalUnit(
+            "cat_state_prepare", s["cat_state_prepare"], internal_stages=1,
+            qubits_in=7, qubits_out=7, area=12, height=6,
+        ),
+        "transversal_interact": FunctionalUnit(
+            "transversal_interact", s["transversal_interact"], internal_stages=1,
+            qubits_in=14, qubits_out=14, area=7, height=7,
+        ),
+        "decode_store": FunctionalUnit(
+            "decode_store", s["decode_store"], internal_stages=1,
+            qubits_in=14, qubits_out=8, area=19, height=13,
+        ),
+        "h_measure_correct": FunctionalUnit(
+            "h_measure_correct", s["h_measure_correct"], internal_stages=1,
+            qubits_in=8, qubits_out=7, area=8, height=8,
+        ),
+    }

@@ -1,0 +1,277 @@
+"""Kernel characterization: Tables 2-3 and Figure 7.
+
+Execution model (Section 3.2): a QEC step follows every useful encoded
+gate, consuming two corrected encoded-zero ancillae (bit and phase
+correction, Figure 2); every pi/8-type gate additionally consumes one
+encoded pi/8 ancilla. "Speed of data" is the ASAP schedule where every
+gate starts as soon as its data dependencies allow, with ancillae assumed
+ready — its makespan is the sum of the data-op and QEC-interaction
+components (Table 2 columns 2+3).
+
+Table 2's three components per critical-path gate:
+
+* data op — the gate's own latency (transversal physical latency, or the
+  ancilla-interaction latency for pi/8 gates);
+* data/QEC interaction — 2 x (transversal CX + measure + conditional
+  correct), the part of the QEC step touching data;
+* ancilla prep — the data-independent preparation work, priced at the
+  serial (non-overlapped) preparation latency: two Figure 4c encoded zeros
+  per QEC step plus the pi/8 pipeline for non-transversal gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits import Circuit, asap_schedule
+from repro.circuits.gate import Gate, GateType
+from repro.circuits.latency import LogicalLatencyModel
+from repro.factory.simple import SimpleZeroFactory
+from repro.factory.t_factory import Pi8Factory
+from repro.kernels.decompose import decompose_to_encoded_gates
+from repro.kernels.qcla import qcla_circuit, qcla_registers
+from repro.kernels.qft import qft_circuit
+from repro.kernels.qrca import qrca_circuit, qrca_registers
+from repro.tech import ION_TRAP, TechnologyParams
+
+#: Corrected encoded-zero ancillae consumed per QEC step (bit + phase).
+ZEROS_PER_QEC = 2
+
+_PI8_TYPES = (GateType.T, GateType.T_DAG)
+
+
+@dataclass(frozen=True)
+class QecAwareLatency:
+    """Gate latency including the data-side QEC interaction that follows.
+
+    Used to compute the speed-of-data makespan (Table 2 columns 2+3): the
+    qubit is busy for the gate plus its QEC step before the next gate can
+    touch it.
+    """
+
+    logical: LogicalLatencyModel
+
+    def gate_latency(self, gate: Gate) -> float:
+        return self.logical.gate_latency(gate) + self.logical.qec_interaction_latency()
+
+
+@dataclass
+class KernelAnalysis:
+    """Characterization of one benchmark kernel.
+
+    Attributes:
+        name: Kernel name (e.g. "32-Bit QRCA").
+        circuit: The decomposed (encoded-gate-set) circuit.
+        tech: Technology parameters.
+        data_qubits: Number of encoded data qubits including data ancillae
+            (drives Table 9's data area).
+    """
+
+    name: str
+    circuit: Circuit
+    tech: TechnologyParams
+    data_qubits: int
+
+    def __post_init__(self) -> None:
+        self._logical = LogicalLatencyModel(self.tech)
+        self._schedule = asap_schedule(self.circuit, QecAwareLatency(self._logical))
+        # One full Figure 4c preparation per QEC step: the bit- and
+        # phase-correction ancillae are produced as a pair by the same
+        # factory pass (Figure 11 corrects the middle ancilla with both
+        # neighbours in one schedule), so the pair costs one serial latency.
+        self._zero_serial_us = SimpleZeroFactory(self.tech).latency_us
+        # The pi/8 conversion pipeline runs downstream of zero production;
+        # its input zero is prepared concurrently with the QEC zeros.
+        self._pi8_serial_us = Pi8Factory(self.tech).serial_latency_us()
+
+    # ------------------------------------------------------------------
+    # Raw counts
+
+    @property
+    def total_gates(self) -> int:
+        return len(self.circuit)
+
+    @property
+    def pi8_gate_count(self) -> int:
+        """Gates consuming an encoded pi/8 ancilla."""
+        return sum(1 for g in self.circuit if g.gate_type in _PI8_TYPES)
+
+    @property
+    def non_transversal_fraction(self) -> float:
+        """Fraction of gates that are non-transversal (Section 3.3 quotes
+        40.5% / 41.0% / 46.9% for the three benchmarks)."""
+        if not self.circuit.gates:
+            return 0.0
+        return self.pi8_gate_count / self.total_gates
+
+    # ------------------------------------------------------------------
+    # Speed-of-data schedule and critical path
+
+    @property
+    def execution_time_us(self) -> float:
+        """Speed-of-data execution time (Table 2 columns 2+3)."""
+        return max((e.finish for e in self._schedule), default=0.0)
+
+    def _critical_path_entries(self):
+        """One maximal chain through the QEC-aware ASAP schedule."""
+        if not self._schedule:
+            return []
+        from repro.circuits.dag import CircuitDag
+
+        dag = CircuitDag(self.circuit)
+        current = max(self._schedule, key=lambda e: e.finish)
+        chain = [current]
+        while True:
+            preds = dag.predecessors(current.index)
+            if not preds:
+                break
+            blocker = max((self._schedule[p] for p in preds), key=lambda e: e.finish)
+            chain.append(blocker)
+            current = blocker
+        chain.reverse()
+        return chain
+
+    def table2_row(self) -> Dict[str, float]:
+        """The three Table 2 latency components and their fractions."""
+        chain = self._critical_path_entries()
+        qec_interact_each = self._logical.qec_interaction_latency()
+        data_op = sum(
+            self._logical.gate_latency(e.gate) for e in chain
+        )
+        qec_interact = qec_interact_each * len(chain)
+        ancilla_prep = sum(
+            self._zero_serial_us
+            + (self._pi8_serial_us if e.gate.gate_type in _PI8_TYPES else 0.0)
+            for e in chain
+        )
+        total = data_op + qec_interact + ancilla_prep
+        return {
+            "data_op_us": data_op,
+            "qec_interact_us": qec_interact,
+            "ancilla_prep_us": ancilla_prep,
+            "data_op_frac": data_op / total if total else 0.0,
+            "qec_interact_frac": qec_interact / total if total else 0.0,
+            "ancilla_prep_frac": ancilla_prep / total if total else 0.0,
+            "critical_path_gates": float(len(chain)),
+        }
+
+    # ------------------------------------------------------------------
+    # Ancilla bandwidth (Table 3)
+
+    @property
+    def zero_ancilla_total(self) -> int:
+        """Encoded zeros consumed across the whole run (2 per gate's QEC)."""
+        return ZEROS_PER_QEC * self.total_gates
+
+    @property
+    def zero_bandwidth_per_ms(self) -> float:
+        """Average encoded-zero bandwidth at the speed of data (Table 3)."""
+        exec_ms = self.execution_time_us / 1000.0
+        return self.zero_ancilla_total / exec_ms if exec_ms else 0.0
+
+    @property
+    def pi8_bandwidth_per_ms(self) -> float:
+        """Average encoded-pi/8 bandwidth at the speed of data (Table 3)."""
+        exec_ms = self.execution_time_us / 1000.0
+        return self.pi8_gate_count / exec_ms if exec_ms else 0.0
+
+    def table3_row(self) -> Dict[str, float]:
+        return {
+            "zero_bandwidth_per_ms": self.zero_bandwidth_per_ms,
+            "pi8_bandwidth_per_ms": self.pi8_bandwidth_per_ms,
+        }
+
+    # ------------------------------------------------------------------
+    # Demand profile (Figure 7)
+
+    def ancilla_demand_profile(
+        self, buckets: int = 100
+    ) -> List[Tuple[float, float]]:
+        """Encoded zeros that must be in flight over time (Figure 7).
+
+        An ancilla consumed at a gate's start must exist from
+        (start - preparation latency) until consumption; the profile counts,
+        for each time bucket, the ancillae alive during it.
+        """
+        if buckets < 1:
+            raise ValueError(f"buckets must be >= 1, got {buckets}")
+        horizon = self.execution_time_us
+        if horizon <= 0:
+            return []
+        width = horizon / buckets
+        prep = self._zero_serial_us
+        counts = [0.0] * buckets
+        for entry in self._schedule:
+            birth = max(0.0, entry.start - prep)
+            death = entry.start
+            first = min(buckets - 1, int(birth / width))
+            last = min(buckets - 1, int(death / width))
+            for idx in range(first, last + 1):
+                counts[idx] += ZEROS_PER_QEC
+        return [(idx * width, counts[idx]) for idx in range(buckets)]
+
+
+def _qrca_analysis(width: int, tech: TechnologyParams) -> KernelAnalysis:
+    regs = qrca_registers(width)
+    circuit = decompose_to_encoded_gates(qrca_circuit(width))
+    return KernelAnalysis(
+        name=f"{width}-Bit QRCA",
+        circuit=circuit,
+        tech=tech,
+        data_qubits=regs.num_qubits,
+    )
+
+
+def _qcla_analysis(width: int, tech: TechnologyParams) -> KernelAnalysis:
+    regs = qcla_registers(width)
+    circuit = decompose_to_encoded_gates(qcla_circuit(width))
+    return KernelAnalysis(
+        name=f"{width}-Bit QCLA",
+        circuit=circuit,
+        tech=tech,
+        data_qubits=regs.num_qubits,
+    )
+
+
+def _qft_analysis(width: int, tech: TechnologyParams) -> KernelAnalysis:
+    circuit = decompose_to_encoded_gates(qft_circuit(width))
+    return KernelAnalysis(
+        name=f"{width}-Bit QFT",
+        circuit=circuit,
+        tech=tech,
+        data_qubits=width,
+    )
+
+
+_BUILDERS: Dict[str, Callable[[int, TechnologyParams], KernelAnalysis]] = {
+    "qrca": _qrca_analysis,
+    "qcla": _qcla_analysis,
+    "qft": _qft_analysis,
+}
+
+
+def analyze_kernel(
+    kernel: str, width: int = 32, tech: TechnologyParams = ION_TRAP
+) -> KernelAnalysis:
+    """Characterize one benchmark kernel.
+
+    Args:
+        kernel: One of "qrca", "qcla", "qft".
+        width: Bit width (32 reproduces the paper).
+        tech: Technology parameters.
+    """
+    try:
+        builder = _BUILDERS[kernel.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; choose from {sorted(_BUILDERS)}"
+        ) from None
+    return builder(width, tech)
+
+
+def standard_kernels(
+    width: int = 32, tech: TechnologyParams = ION_TRAP
+) -> List[KernelAnalysis]:
+    """The paper's three benchmarks at the given width."""
+    return [analyze_kernel(name, width, tech) for name in ("qrca", "qcla", "qft")]

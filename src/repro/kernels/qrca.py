@@ -1,0 +1,100 @@
+"""The Quantum Ripple-Carry Adder (Section 3.1).
+
+The paper's QRCA uses "two n-bit data inputs plus n+1 ancillae", matching
+the Vedral-Barenco-Ekert ripple-carry construction: carry qubits
+c_0..c_{n-1} plus a high output bit. The structure is a forward ripple of
+CARRY blocks, a middle fix-up, then a backward ripple undoing the carries
+while producing sums — deeply serial, which is why the QRCA is the
+most modest ancilla-bandwidth consumer of the three benchmarks.
+
+Register layout (width n):
+    a_i  : qubits [0, n)            first addend (unchanged)
+    b_i  : qubits [n, 2n)           second addend, overwritten with sum
+    b_n  : qubit 2n                 high sum bit (carry out)
+    c_i  : qubits [2n+1, 3n+1)      carry ancillae (returned to |0>)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.circuits import Circuit
+
+
+@dataclass(frozen=True)
+class QrcaRegisters:
+    """Qubit index map for a width-n QRCA."""
+
+    width: int
+
+    @property
+    def a(self) -> List[int]:
+        return list(range(0, self.width))
+
+    @property
+    def b(self) -> List[int]:
+        return list(range(self.width, 2 * self.width))
+
+    @property
+    def b_high(self) -> int:
+        return 2 * self.width
+
+    @property
+    def c(self) -> List[int]:
+        return list(range(2 * self.width + 1, 3 * self.width + 1))
+
+    @property
+    def num_qubits(self) -> int:
+        return 3 * self.width + 1
+
+    @property
+    def data_ancillae(self) -> int:
+        """Long-lived ancillae beyond the two inputs: n carries + high bit."""
+        return self.width + 1
+
+
+def _carry(circ: Circuit, c_in: int, a: int, b: int, c_out: int) -> None:
+    """VBE CARRY block: c_out ^= maj-ish carry of (c_in, a, b)."""
+    circ.ccx(a, b, c_out)
+    circ.cx(a, b)
+    circ.ccx(c_in, b, c_out)
+
+
+def _carry_inverse(circ: Circuit, c_in: int, a: int, b: int, c_out: int) -> None:
+    circ.ccx(c_in, b, c_out)
+    circ.cx(a, b)
+    circ.ccx(a, b, c_out)
+
+
+def _sum(circ: Circuit, c_in: int, a: int, b: int) -> None:
+    """VBE SUM block: b ^= a ^ c_in."""
+    circ.cx(a, b)
+    circ.cx(c_in, b)
+
+
+def qrca_circuit(width: int = 32) -> Circuit:
+    """Build the width-bit ripple-carry adder: b <- a + b.
+
+    The high sum bit lands in ``b_high``; carry ancillae are uncomputed
+    back to |0> so they can be reused (they are the circuit's "data
+    ancillae" in the paper's terminology).
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    regs = QrcaRegisters(width)
+    circ = Circuit(regs.num_qubits, name=f"qrca{width}")
+    a, b, c = regs.a, regs.b, regs.c
+    carry_out = [*c[1:], regs.b_high]
+    for i in range(width):
+        _carry(circ, c[i], a[i], b[i], carry_out[i])
+    circ.cx(a[width - 1], b[width - 1])
+    _sum(circ, c[width - 1], a[width - 1], b[width - 1])
+    for i in range(width - 2, -1, -1):
+        _carry_inverse(circ, c[i], a[i], b[i], carry_out[i])
+        _sum(circ, c[i], a[i], b[i])
+    return circ
+
+
+def qrca_registers(width: int = 32) -> QrcaRegisters:
+    return QrcaRegisters(width)

@@ -1,0 +1,123 @@
+"""Macroblock floorplans for the pipelined factory units (Figure 13).
+
+Each functional unit of the pipelined factories occupies a small
+rectangular patch of macroblocks; these constructors build them so that
+their areas and heights match the Table 5/7 values used by the factory
+models, and so layout-level tests can check connectivity and gate
+capacity independently of the performance model.
+"""
+
+from __future__ import annotations
+
+from repro.layout.grid import Grid
+from repro.layout.macroblock import (
+    Direction,
+    dead_end_gate,
+    four_way,
+    straight_channel,
+    straight_channel_gate,
+    three_way,
+)
+
+
+def crossbar_grid(height: int, columns: int = 2, name: str = "crossbar") -> Grid:
+    """A factory crossbar: vertical channel columns, fully connected.
+
+    Args:
+        height: Rows spanned (the taller of the adjacent stages).
+        columns: 1 for the funnel-in crossbar after Stage 1, 2 elsewhere
+            (one column per movement direction, Section 4.4.1).
+    """
+    if height < 1:
+        raise ValueError(f"height must be >= 1, got {height}")
+    if columns < 1:
+        raise ValueError(f"columns must be >= 1, got {columns}")
+    grid = Grid(name=name)
+    for row in range(height):
+        for col in range(columns):
+            if row == 0:
+                grid.place((row, col), three_way(Direction.NORTH))
+            elif row == height - 1:
+                grid.place((row, col), three_way(Direction.SOUTH))
+            else:
+                grid.place((row, col), four_way())
+    return grid
+
+
+def zero_prep_unit_grid() -> Grid:
+    """Figure 13b: a single gate location (one macroblock)."""
+    grid = Grid(name="zero_prep_unit")
+    grid.place((0, 0), dead_end_gate(Direction.EAST))
+    return grid
+
+
+def cx_stage_unit_grid() -> Grid:
+    """Figure 13c: the pipelined CX stage — 4 rows of 7 macroblocks.
+
+    Three rows hold the three in-flight seven-qubit batches at gate
+    locations; the fourth is a communication row, totalling 28 blocks.
+    """
+    grid = Grid(name="cx_stage_unit")
+    for col in range(7):
+        if col == 0:
+            grid.place((0, col), three_way(Direction.WEST))
+        elif col == 6:
+            grid.place((0, col), three_way(Direction.EAST))
+        else:
+            grid.place((0, col), four_way())
+    for row in range(1, 4):
+        for col in range(7):
+            grid.place((row, col), straight_channel_gate("ns"))
+    return grid
+
+
+def cat_prep_unit_grid() -> Grid:
+    """Figure 13d: 3-qubit cat preparation — 2 rows of 3 (6 blocks)."""
+    grid = Grid(name="cat_prep_unit")
+    for col in range(3):
+        if col == 0:
+            grid.place((0, col), three_way(Direction.WEST))
+        elif col == 2:
+            grid.place((0, col), three_way(Direction.EAST))
+        else:
+            grid.place((0, col), four_way())
+        grid.place((1, col), straight_channel_gate("ns"))
+    return grid
+
+
+def verification_unit_grid() -> Grid:
+    """Figure 13e: verification — one macroblock per held qubit (10)."""
+    grid = Grid(name="verification_unit")
+    for row in range(10):
+        grid.place((row, 0), straight_channel_gate("ns"))
+    return grid
+
+
+def bp_correction_unit_grid() -> Grid:
+    """Figure 13f: bit/phase correction — room for three encoded ancillae
+    (21 macroblocks in one column)."""
+    grid = Grid(name="bp_correction_unit")
+    for row in range(21):
+        grid.place((row, 0), straight_channel_gate("ns"))
+    return grid
+
+
+#: Areas every unit floorplan must satisfy (checked against Table 5).
+EXPECTED_UNIT_AREAS = {
+    "zero_prep_unit": 1,
+    "cx_stage_unit": 28,
+    "cat_prep_unit": 6,
+    "verification_unit": 10,
+    "bp_correction_unit": 21,
+}
+
+
+def all_unit_grids() -> dict:
+    """All Figure 13 unit floorplans keyed by name."""
+    return {
+        "zero_prep_unit": zero_prep_unit_grid(),
+        "cx_stage_unit": cx_stage_unit_grid(),
+        "cat_prep_unit": cat_prep_unit_grid(),
+        "verification_unit": verification_unit_grid(),
+        "bp_correction_unit": bp_correction_unit_grid(),
+    }

@@ -1,0 +1,120 @@
+"""Rectangular macroblock layouts.
+
+A :class:`Grid` is a sparse mapping from (row, col) cells to
+:class:`~repro.layout.macroblock.Macroblock` instances. Area — the paper's
+universal hardware cost unit — is simply the number of placed blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.layout.macroblock import Direction, Macroblock
+
+Cell = Tuple[int, int]
+
+
+class GridError(ValueError):
+    """Raised on invalid layout construction."""
+
+
+class Grid:
+    """A sparse rectangular layout of macroblocks."""
+
+    def __init__(self, name: str = "layout") -> None:
+        self.name = name
+        self._blocks: Dict[Cell, Macroblock] = {}
+
+    def place(self, cell: Cell, block: Macroblock) -> None:
+        if cell in self._blocks:
+            raise GridError(f"cell {cell} already occupied in {self.name}")
+        self._blocks[cell] = block
+
+    def block_at(self, cell: Cell) -> Optional[Macroblock]:
+        return self._blocks.get(cell)
+
+    def __contains__(self, cell: Cell) -> bool:
+        return cell in self._blocks
+
+    def __iter__(self) -> Iterator[Tuple[Cell, Macroblock]]:
+        return iter(self._blocks.items())
+
+    @property
+    def area(self) -> int:
+        """Total macroblock count — the paper's area measure."""
+        return len(self._blocks)
+
+    @property
+    def gate_locations(self) -> List[Cell]:
+        return [cell for cell, block in self._blocks.items() if block.has_gate_location]
+
+    def bounding_box(self) -> Tuple[int, int, int, int]:
+        """(min_row, min_col, max_row, max_col) of placed blocks."""
+        if not self._blocks:
+            raise GridError(f"{self.name} is empty")
+        rows = [r for r, _ in self._blocks]
+        cols = [c for _, c in self._blocks]
+        return (min(rows), min(cols), max(rows), max(cols))
+
+    def neighbors(self, cell: Cell) -> List[Tuple[Cell, Direction]]:
+        """Cells reachable in one move: both ports must face each other."""
+        block = self._blocks.get(cell)
+        if block is None:
+            return []
+        out = []
+        for direction in Direction:
+            if not block.connects(direction):
+                continue
+            dr, dc = direction.delta
+            nbr_cell = (cell[0] + dr, cell[1] + dc)
+            nbr = self._blocks.get(nbr_cell)
+            if nbr is not None and nbr.connects(direction.opposite):
+                out.append((nbr_cell, direction))
+        return out
+
+    def validate_connected(self) -> None:
+        """Every placed block must be reachable from every other."""
+        if not self._blocks:
+            return
+        start = next(iter(self._blocks))
+        seen = {start}
+        stack = [start]
+        while stack:
+            cell = stack.pop()
+            for nbr_cell, _ in self.neighbors(cell):
+                if nbr_cell not in seen:
+                    seen.add(nbr_cell)
+                    stack.append(nbr_cell)
+        unreachable = set(self._blocks) - seen
+        if unreachable:
+            raise GridError(
+                f"{self.name}: {len(unreachable)} block(s) unreachable, "
+                f"e.g. {sorted(unreachable)[:3]}"
+            )
+
+    def render(self) -> str:
+        """ASCII rendering: gate blocks 'G', intersections '+', channels
+        '|' / '-', turns 'L', dead ends 'D', empty cells ' '."""
+        from repro.layout.macroblock import MacroblockType
+
+        symbols = {
+            MacroblockType.DEAD_END_GATE: "D",
+            MacroblockType.STRAIGHT_CHANNEL_GATE: "G",
+            MacroblockType.TURN: "L",
+            MacroblockType.THREE_WAY: "+",
+            MacroblockType.FOUR_WAY: "+",
+        }
+        min_r, min_c, max_r, max_c = self.bounding_box()
+        lines = []
+        for r in range(min_r, max_r + 1):
+            row_chars = []
+            for c in range(min_c, max_c + 1):
+                block = self._blocks.get((r, c))
+                if block is None:
+                    row_chars.append(" ")
+                elif block.block_type is MacroblockType.STRAIGHT_CHANNEL:
+                    row_chars.append("|" if Direction.NORTH in block.ports else "-")
+                else:
+                    row_chars.append(symbols[block.block_type])
+            lines.append("".join(row_chars))
+        return "\n".join(lines)

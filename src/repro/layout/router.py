@@ -1,0 +1,104 @@
+"""Latency-weighted movement routing through a layout.
+
+Moving straight across a macroblock costs ``t_move``; changing heading
+costs ``t_turn`` (Table 4: 1us vs 10us — "moving an ion around a corner
+takes more time than moving straight"). Routing therefore minimizes total
+time, not hop count, via Dijkstra over (cell, heading) states.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.layout.grid import Cell, Grid
+from repro.layout.macroblock import Direction
+from repro.tech import TechnologyParams
+
+
+@dataclass(frozen=True)
+class MovePlan:
+    """A routed path and its cost decomposition.
+
+    Attributes:
+        cells: Visited cells, start and end inclusive.
+        straight_moves: Traversals that kept heading.
+        turns: Traversals that changed heading (including the first hop
+            when an initial heading was given and differs).
+    """
+
+    cells: Tuple[Cell, ...]
+    straight_moves: int
+    turns: int
+
+    def latency(self, tech: TechnologyParams) -> float:
+        return self.straight_moves * tech.t_move + self.turns * tech.t_turn
+
+    @property
+    def hops(self) -> int:
+        return self.straight_moves + self.turns
+
+
+class Router:
+    """Shortest-time router over a grid."""
+
+    def __init__(self, grid: Grid, tech: TechnologyParams) -> None:
+        self.grid = grid
+        self.tech = tech
+
+    def route(
+        self,
+        start: Cell,
+        goal: Cell,
+        initial_heading: Optional[Direction] = None,
+    ) -> Optional[MovePlan]:
+        """Minimum-latency path from ``start`` to ``goal``.
+
+        Returns None when unreachable. The first hop costs ``t_move`` if it
+        continues ``initial_heading`` (or no heading was given), else
+        ``t_turn``.
+        """
+        if start not in self.grid or goal not in self.grid:
+            return None
+        if start == goal:
+            return MovePlan((start,), 0, 0)
+        t_move, t_turn = self.tech.t_move, self.tech.t_turn
+        # State: (cell, heading). Heading None only at the start.
+        best: Dict[Tuple[Cell, Optional[Direction]], float] = {}
+        start_state = (start, initial_heading)
+        best[start_state] = 0.0
+        # Heap entries: (cost, tiebreak, cell, heading, path, moves, turns)
+        counter = 0
+        heap = [(0.0, counter, start, initial_heading, (start,), 0, 0)]
+        while heap:
+            cost, _, cell, heading, path, moves, turns = heapq.heappop(heap)
+            if cell == goal:
+                return MovePlan(path, moves, turns)
+            if cost > best.get((cell, heading), float("inf")):
+                continue
+            for nbr_cell, direction in self.grid.neighbors(cell):
+                is_turn = heading is not None and direction is not heading
+                step = t_turn if is_turn else t_move
+                new_cost = cost + step
+                state = (nbr_cell, direction)
+                if new_cost < best.get(state, float("inf")):
+                    best[state] = new_cost
+                    counter += 1
+                    heapq.heappush(
+                        heap,
+                        (
+                            new_cost,
+                            counter,
+                            nbr_cell,
+                            direction,
+                            path + (nbr_cell,),
+                            moves + (0 if is_turn else 1),
+                            turns + (1 if is_turn else 0),
+                        ),
+                    )
+        return None
+
+    def latency(self, start: Cell, goal: Cell) -> Optional[float]:
+        plan = self.route(start, goal)
+        return None if plan is None else plan.latency(self.tech)

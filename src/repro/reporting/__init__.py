@@ -1,0 +1,23 @@
+"""Reporting: table formatting, ASCII figures, and the experiment registry.
+
+Every table and figure in the paper's evaluation maps to a registered
+experiment here; ``run_experiment("table3")`` (or the benchmark suite)
+regenerates the corresponding rows or series.
+"""
+
+from repro.reporting.figures import ascii_plot, series_to_csv
+from repro.reporting.registry import (
+    EXPERIMENTS,
+    Experiment,
+    run_experiment,
+)
+from repro.reporting.tables import format_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "ascii_plot",
+    "format_table",
+    "run_experiment",
+    "series_to_csv",
+]

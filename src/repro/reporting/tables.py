@@ -1,0 +1,52 @@
+"""Plain-text table formatting for experiment output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _render(cell: Cell) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 10000 or abs(cell) < 0.001:
+            return f"{cell:.3g}"
+        if abs(cell) >= 100:
+            return f"{cell:.1f}"
+        return f"{cell:.3g}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Cell]], title: str = ""
+) -> str:
+    """Render an aligned monospace table.
+
+    Args:
+        headers: Column headers.
+        rows: Row cells; floats are compacted automatically.
+        title: Optional title line above the table.
+    """
+    rendered: List[List[str]] = [[_render(c) for c in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(headers)} columns"
+            )
+    widths = [
+        max(len(str(headers[i])), max((len(r[i]) for r in rendered), default=0))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Physical technology models.
+
+The paper grounds its symbolic analysis in trapped-ion technology using the
+operation latencies of its Tables 1 and 4 and the error rates of Section 2.2.
+This package holds those parameter records and makes them pluggable so the
+rest of the library can be evaluated under different technology assumptions.
+"""
+
+from repro.tech.params import (
+    ERROR_MODEL_PAPER,
+    ION_TRAP,
+    ErrorRates,
+    TechnologyParams,
+    ion_trap_params,
+)
+
+__all__ = [
+    "ERROR_MODEL_PAPER",
+    "ION_TRAP",
+    "ErrorRates",
+    "TechnologyParams",
+    "ion_trap_params",
+]

@@ -1,0 +1,98 @@
+"""Technology parameter records (paper Tables 1 and 4, Section 2.2).
+
+All latencies are in microseconds, matching the paper's unit convention.
+Bandwidths derived elsewhere in the library are therefore "per millisecond"
+when multiplied by 1000, again matching the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ErrorRates:
+    """Independent per-operation error probabilities (paper Section 2.2).
+
+    Attributes:
+        gate: Probability of a random Pauli error after each physical gate.
+        movement: Probability of a random Pauli error per movement operation.
+        measurement: Probability of a classical readout flip. The paper folds
+            measurement error into the gate error; we keep a separate knob
+            that defaults to the gate rate.
+    """
+
+    gate: float = 1e-4
+    movement: float = 1e-6
+    measurement: float = 1e-4
+
+    def __post_init__(self) -> None:
+        for name in ("gate", "movement", "measurement"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} error rate must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class TechnologyParams:
+    """Physical operation latencies for one implementation technology.
+
+    The defaults are the trapped-ion values from Tables 1 and 4:
+
+    ==================  ======  =====
+    operation           symbol  us
+    ==================  ======  =====
+    one-qubit gate      t1q     1
+    two-qubit gate      t2q     10
+    measurement         tmeas   50
+    physical |0> prep   tprep   51
+    straight move       tmove   1
+    turn                tturn   10
+    ==================  ======  =====
+    """
+
+    name: str = "ion-trap"
+    t_1q: float = 1.0
+    t_2q: float = 10.0
+    t_meas: float = 50.0
+    t_prep: float = 51.0
+    t_move: float = 1.0
+    t_turn: float = 10.0
+    errors: ErrorRates = ErrorRates()
+
+    def __post_init__(self) -> None:
+        for name in ("t_1q", "t_2q", "t_meas", "t_prep", "t_move", "t_turn"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} latency must be non-negative, got {value}")
+
+    def with_errors(self, errors: ErrorRates) -> "TechnologyParams":
+        """Return a copy of these parameters with different error rates."""
+        return replace(self, errors=errors)
+
+    def scaled(self, factor: float, name: str | None = None) -> "TechnologyParams":
+        """Return a copy with every latency multiplied by ``factor``.
+
+        Useful for what-if studies ("what if ion shuttling got 10x faster?").
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return replace(
+            self,
+            name=name or f"{self.name}-x{factor:g}",
+            t_1q=self.t_1q * factor,
+            t_2q=self.t_2q * factor,
+            t_meas=self.t_meas * factor,
+            t_prep=self.t_prep * factor,
+            t_move=self.t_move * factor,
+            t_turn=self.t_turn * factor,
+        )
+
+
+def ion_trap_params() -> TechnologyParams:
+    """The paper's trapped-ion technology point (Tables 1 and 4)."""
+    return TechnologyParams()
+
+
+ION_TRAP = ion_trap_params()
+ERROR_MODEL_PAPER = ErrorRates()

@@ -1,0 +1,45 @@
+"""Shared fixtures.
+
+Kernel characterizations are session-scoped: building and analyzing the
+32-bit kernels (especially the QFT with synthesized rotations) costs a
+few seconds each, and they are immutable once constructed.
+"""
+
+import pytest
+
+from repro.kernels import analyze_kernel
+
+
+@pytest.fixture(scope="session")
+def qrca32():
+    return analyze_kernel("qrca", 32)
+
+
+@pytest.fixture(scope="session")
+def qcla32():
+    return analyze_kernel("qcla", 32)
+
+
+@pytest.fixture(scope="session")
+def qft32():
+    return analyze_kernel("qft", 32)
+
+
+@pytest.fixture(scope="session")
+def qrca8():
+    return analyze_kernel("qrca", 8)
+
+
+@pytest.fixture(scope="session")
+def qcla8():
+    return analyze_kernel("qcla", 8)
+
+
+@pytest.fixture(scope="session")
+def qft8():
+    return analyze_kernel("qft", 8)
+
+
+@pytest.fixture(scope="session")
+def all_kernels32(qrca32, qcla32, qft32):
+    return [qrca32, qcla32, qft32]

@@ -1,0 +1,80 @@
+"""Integration tests for the Figure 15 / Section 5.3 architecture claims.
+
+Run on the paper's 32-bit QRCA/QCLA (the QFT sweep lives in the benchmark
+suite — its decomposed circuit is ~4x larger).
+"""
+
+import pytest
+
+from repro.arch import ArchitectureKind
+from repro.arch.provisioning import area_breakdown
+from repro.arch.qalypso import compare_with_cqla, tile_for_kernel
+from repro.arch.sweep import area_sweep, area_to_reach, plateau_makespan
+
+
+@pytest.fixture(scope="module")
+def qcla_curves(qcla32):
+    matched = area_breakdown(qcla32).factory_area
+    areas = [matched * f for f in (0.125, 0.5, 1, 4, 16, 64, 256)]
+    return area_sweep(qcla32, areas=areas)
+
+
+class TestFigure15Shape:
+    def test_multiplexed_fastest_at_matched_area(self, qcla_curves, qcla32):
+        matched = area_breakdown(qcla32).factory_area
+        at_matched = {
+            kind: [p for p in pts if p.x == pytest.approx(matched)][0].makespan_us
+            for kind, pts in qcla_curves.items()
+        }
+        assert at_matched[ArchitectureKind.MULTIPLEXED] <= min(at_matched.values())
+
+    def test_cqla_plateaus_above_multiplexed(self, qcla_curves):
+        """Paper: CQLA plateaus half an order to an order of magnitude
+        higher than Fully-Multiplexed (cache misses persist at any area)."""
+        cqla = plateau_makespan(qcla_curves[ArchitectureKind.CQLA])
+        mux = plateau_makespan(qcla_curves[ArchitectureKind.MULTIPLEXED])
+        assert cqla > 3 * mux
+
+    def test_qla_plateau_similar_to_multiplexed(self, qcla_curves):
+        """Paper: QLA eventually plateaus at a similar execution time."""
+        qla = plateau_makespan(qcla_curves[ArchitectureKind.QLA])
+        mux = plateau_makespan(qcla_curves[ArchitectureKind.MULTIPLEXED])
+        assert qla < 3 * mux
+
+    def test_qla_needs_far_more_area(self, qcla_curves):
+        """Paper: QLA requires about two orders of magnitude more area to
+        match Fully-Multiplexed's execution time."""
+        mux_points = qcla_curves[ArchitectureKind.MULTIPLEXED]
+        target = 1.5 * plateau_makespan(mux_points)
+        mux_area = area_to_reach(mux_points, target)
+        qla_area = area_to_reach(qcla_curves[ArchitectureKind.QLA], target)
+        assert mux_area is not None
+        # Our cost model shows a ~4-16x gap (the paper's, with its own
+        # layout charges, reports ~100x); assert the direction and scale.
+        assert qla_area is None or qla_area >= 4 * mux_area
+
+    def test_more_area_monotone_for_all(self, qcla_curves):
+        for points in qcla_curves.values():
+            makespans = [p.makespan_us for p in points]
+            assert all(a >= b - 1e-6 for a, b in zip(makespans, makespans[1:]))
+
+
+class TestHeadlineSpeedup:
+    def test_qalypso_beats_cqla_by_5x(self, qcla32):
+        """The abstract's claim: more than five times speedup over
+        previous proposals at comparable resources."""
+        comparison = compare_with_cqla(qcla32)
+        assert comparison.speedup > 5.0
+
+    def test_qalypso_never_loses_on_qrca(self, qrca32):
+        """The ripple-carry adder's active window fits any cache, so our
+        LRU-faithful CQLA barely misses on it; Qalypso still wins on
+        distribution latency (the paper's CQLA, with its stricter
+        writeback policy, loses more)."""
+        comparison = compare_with_cqla(qrca32)
+        assert comparison.speedup > 1.0
+
+    def test_tile_provisioning_scales_with_kernel(self, qrca32, qcla32):
+        small = tile_for_kernel(qrca32)
+        large = tile_for_kernel(qcla32)
+        assert large.zero_factories > small.zero_factories

@@ -1,0 +1,70 @@
+"""End-to-end integration: public API paths a downstream user would take."""
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quickstart_path(self):
+        """The README quickstart must work verbatim."""
+        factory = repro.PipelinedZeroFactory()
+        assert factory.throughput_per_ms > 10
+        kernel = repro.analyze_kernel("qcla", width=8)
+        assert kernel.zero_bandwidth_per_ms > 0
+        report = repro.run_experiment("table6")
+        assert "298" in report
+
+    def test_build_analyze_provision_loop(self):
+        """Full pipeline: circuit -> decompose -> analyze -> provision ->
+        simulate, all through the public API."""
+        circuit = repro.qrca_circuit(4)
+        lowered = repro.decompose_to_encoded_gates(circuit)
+        # Fully lowered: only transversal gates plus ancilla-backed T's.
+        assert lowered.count(repro.GateType.CCX) == 0
+        assert lowered.count(repro.GateType.T) > 0
+        analysis = repro.analyze_kernel("qrca", 4)
+        breakdown = repro.area_breakdown(analysis)
+        assert breakdown.total_area > 0
+        sim = repro.DataflowSimulator(analysis.circuit)
+        result = sim.run()
+        assert result.makespan_us == pytest.approx(
+            analysis.execution_time_us, rel=0.01
+        )
+
+    def test_custom_technology_threads_through(self):
+        """A 2x-faster technology halves factory latency and doubles
+        throughput everywhere."""
+        fast = repro.ION_TRAP.scaled(0.5)
+        base_factory = repro.SimpleZeroFactory()
+        fast_factory = repro.SimpleZeroFactory(tech=fast)
+        assert fast_factory.latency_us == base_factory.latency_us / 2
+        assert fast_factory.throughput_per_ms == pytest.approx(
+            2 * base_factory.throughput_per_ms
+        )
+
+    def test_monte_carlo_via_public_api(self):
+        report = repro.evaluate_strategy(
+            repro.PrepStrategy.BASIC,
+            trials=500,
+            seed=0,
+            errors=repro.ErrorRates(gate=1e-3, movement=1e-5, measurement=0.0),
+        )
+        assert report.result.trials == 500
+
+    def test_experiment_registry_complete(self):
+        from repro.reporting import EXPERIMENTS
+
+        assert len(EXPERIMENTS) >= 15
+
+    def test_steane_exported(self):
+        assert repro.STEANE.parameters == (7, 1, 3)
+
+    def test_throughput_sweep_api(self):
+        ka = repro.analyze_kernel("qft", 4)
+        points = repro.throughput_sweep(ka, [5.0, 50.0])
+        assert points[0].makespan_us >= points[1].makespan_us

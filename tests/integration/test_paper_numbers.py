@@ -1,0 +1,133 @@
+"""Integration tests pinning the reproduced paper numbers.
+
+These are the load-bearing cross-module assertions: kernel construction →
+decomposition → critical-path analysis → factory provisioning must land on
+(or near) the values the paper reports. Tolerances encode how closely each
+artifact reproduces; EXPERIMENTS.md records the exact measured values.
+"""
+
+import pytest
+
+from repro.arch.provisioning import area_breakdown
+from repro.factory import Pi8Factory, PipelinedZeroFactory, SimpleZeroFactory
+
+
+class TestFactoryNumbers:
+    """Tables 5-8 and Figure 11 are exact reproductions."""
+
+    def test_simple_factory_exact(self):
+        factory = SimpleZeroFactory()
+        assert factory.latency_us == 323.0
+        assert factory.area == 90
+        assert factory.throughput_per_ms == pytest.approx(3.1, abs=0.05)
+
+    def test_zero_factory_exact(self):
+        factory = PipelinedZeroFactory()
+        assert factory.area == 298
+        assert factory.functional_area == 130
+        assert factory.crossbar_area == 168
+        assert factory.throughput_per_ms == pytest.approx(10.5, abs=0.05)
+
+    def test_pi8_factory_exact(self):
+        factory = Pi8Factory()
+        assert factory.area == 403
+        assert factory.functional_area == 147
+        assert factory.crossbar_area == 256
+        assert factory.throughput_per_ms == pytest.approx(18.3, abs=0.05)
+
+
+class TestTable2:
+    """Latency-split fractions: data ~5%, QEC interact ~17-24%, prep >70%."""
+
+    @pytest.mark.parametrize("fixture", ["qrca32", "qcla32", "qft32"])
+    def test_fractions(self, fixture, request):
+        ka = request.getfixturevalue(fixture)
+        row = ka.table2_row()
+        assert 0.02 < row["data_op_frac"] < 0.08
+        assert 0.10 < row["qec_interact_frac"] < 0.30
+        assert 0.70 < row["ancilla_prep_frac"] < 0.85
+
+    def test_qrca_data_op_magnitude(self, qrca32):
+        # Paper: 29508us. Ours lands within ~25%.
+        assert qrca32.table2_row()["data_op_us"] == pytest.approx(29508, rel=0.25)
+
+    def test_qcla_data_op_magnitude(self, qcla32):
+        # Paper: 3827us.
+        assert qcla32.table2_row()["data_op_us"] == pytest.approx(3827, rel=0.25)
+
+    def test_qft_data_op_magnitude(self, qft32):
+        # Paper: 77057us.
+        assert qft32.table2_row()["data_op_us"] == pytest.approx(77057, rel=0.35)
+
+
+class TestTable3:
+    """Average ancilla bandwidths (paper: 34.8/306.1/36.8 zero,
+    7.0/62.7/8.6 pi/8)."""
+
+    def test_qrca_bandwidths(self, qrca32):
+        assert qrca32.zero_bandwidth_per_ms == pytest.approx(34.8, rel=0.30)
+        assert qrca32.pi8_bandwidth_per_ms == pytest.approx(7.0, rel=0.30)
+
+    def test_qcla_bandwidths(self, qcla32):
+        assert qcla32.zero_bandwidth_per_ms == pytest.approx(306.1, rel=0.30)
+        assert qcla32.pi8_bandwidth_per_ms == pytest.approx(62.7, rel=0.30)
+
+    def test_qft_bandwidths(self, qft32):
+        assert qft32.zero_bandwidth_per_ms == pytest.approx(36.8, rel=0.30)
+        assert qft32.pi8_bandwidth_per_ms == pytest.approx(8.6, rel=0.30)
+
+    def test_qcla_demands_order_of_magnitude_more(self, qrca32, qcla32):
+        ratio = qcla32.zero_bandwidth_per_ms / qrca32.zero_bandwidth_per_ms
+        assert 5 < ratio < 15  # paper: 306.1 / 34.8 = 8.8
+
+
+class TestGateCensus:
+    """Kernel sizes implied by the paper's bandwidth and runtime numbers."""
+
+    def test_qrca_pi8_demand(self, qrca32):
+        # 126 Toffolis x 7 T each = 882 pi/8 ancillae.
+        assert qrca32.pi8_gate_count == 882
+
+    def test_qcla_pi8_demand(self, qcla32):
+        # 141 Toffolis x 7 T each = 987 (matches 62.7/ms x 15.7ms).
+        assert qcla32.pi8_gate_count == 987
+
+    def test_non_transversal_fractions(self, all_kernels32):
+        """Section 3.3: 40.5% / 41.0% / 46.9%."""
+        paper = {"32-Bit QRCA": 0.405, "32-Bit QCLA": 0.410, "32-Bit QFT": 0.469}
+        for ka in all_kernels32:
+            assert ka.non_transversal_fraction == pytest.approx(
+                paper[ka.name], abs=0.06
+            )
+
+    def test_data_qubit_counts(self, all_kernels32):
+        """Table 9 data areas / 7: 97, 123, 32 qubits."""
+        expected = {"32-Bit QRCA": 97, "32-Bit QCLA": 123, "32-Bit QFT": 32}
+        for ka in all_kernels32:
+            assert ka.data_qubits == expected[ka.name]
+
+
+class TestTable9:
+    """Area breakdown: data areas exact; fractions within a few points."""
+
+    def test_data_areas_exact(self, all_kernels32):
+        expected = {"32-Bit QRCA": 679, "32-Bit QCLA": 861, "32-Bit QFT": 224}
+        for ka in all_kernels32:
+            assert area_breakdown(ka).data_area == expected[ka.name]
+
+    def test_qrca_two_thirds_ancillae(self, qrca32):
+        """Headline: even the most serial benchmark devotes roughly
+        two-thirds of the chip to ancilla generation (paper: 66.4%)."""
+        b = area_breakdown(qrca32)
+        assert b.ancilla_fraction == pytest.approx(0.664, abs=0.08)
+
+    def test_qcla_over_ninety_percent(self, qcla32):
+        """Paper: 93.2% for the QCLA."""
+        b = area_breakdown(qcla32)
+        assert b.ancilla_fraction > 0.88
+
+    def test_fractions_close_to_paper(self, qcla32):
+        b = area_breakdown(qcla32)
+        assert b.data_fraction == pytest.approx(0.068, abs=0.03)
+        assert b.qec_factory_fraction == pytest.approx(0.684, abs=0.06)
+        assert b.pi8_factory_fraction == pytest.approx(0.248, abs=0.06)

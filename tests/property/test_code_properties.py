@@ -1,0 +1,54 @@
+"""Property-based tests: Steane code decoding invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.codes.steane import STEANE
+
+error_vectors = st.lists(st.integers(0, 1), min_size=7, max_size=7).map(
+    lambda bits: np.array(bits, dtype=np.uint8)
+)
+
+
+class TestDecoderInvariants:
+    @given(error_vectors)
+    def test_correction_cancels_syndrome(self, err):
+        """Whatever the decoder returns, applying it yields zero syndrome
+        (for Steane every syndrome is in the table)."""
+        corrected = (err + STEANE.decode_x_error(err)) % 2
+        assert not STEANE.x_error_syndrome(corrected).any()
+
+    @given(error_vectors)
+    def test_weight_zero_or_one_always_correctable(self, err):
+        if err.sum() <= 1:
+            assert not STEANE.is_logical_x(err)
+            assert not STEANE.is_logical_z(err)
+
+    @given(error_vectors)
+    def test_syndrome_linear(self, err):
+        """Syndromes are linear: synd(a+b) = synd(a)+synd(b)."""
+        other = np.roll(err, 1)
+        lhs = STEANE.x_error_syndrome((err + other) % 2)
+        rhs = (STEANE.x_error_syndrome(err) + STEANE.x_error_syndrome(other)) % 2
+        assert np.array_equal(lhs, rhs)
+
+    @given(error_vectors)
+    def test_stabilizer_addition_preserves_logical_class(self, err):
+        """Multiplying by a stabilizer never changes decodability."""
+        for row in STEANE.x_stabilizers:
+            shifted = (err + row) % 2
+            assert STEANE.is_logical_x(err) == STEANE.is_logical_x(shifted)
+
+    @given(error_vectors)
+    def test_logical_addition_flips_class(self, err):
+        """Adding the logical operator flips logical-X status whenever the
+        error is within the decodable radius on both sides."""
+        flipped = (err + STEANE.logical_x) % 2
+        if not STEANE.x_error_syndrome(err).any():
+            assert STEANE.is_logical_x(err) != STEANE.is_logical_x(flipped)
+
+    @given(error_vectors)
+    def test_x_z_decoders_agree_by_self_duality(self, err):
+        """The Steane code is self-dual: X and Z decode identically."""
+        assert np.array_equal(STEANE.decode_x_error(err), STEANE.decode_z_error(err))
+        assert STEANE.is_logical_x(err) == STEANE.is_logical_z(err)

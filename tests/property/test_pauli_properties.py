@@ -1,0 +1,113 @@
+"""Property-based tests: Pauli frame group structure and propagation."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import Circuit
+from repro.circuits.gate import Gate, GateType
+from repro.error.pauli import PauliFrame
+from repro.error.propagation import propagate_gate
+
+N_QUBITS = 6
+
+paulis = st.sampled_from(["I", "X", "Y", "Z"])
+
+
+@st.composite
+def frames(draw, n=N_QUBITS):
+    frame = PauliFrame(n)
+    for q in range(n):
+        frame.apply_pauli(q, draw(paulis))
+    return frame
+
+
+@st.composite
+def clifford_gates(draw, n=N_QUBITS):
+    kind = draw(st.sampled_from(["h", "s", "sdg", "cx", "cz", "swap", "x", "z"]))
+    q1 = draw(st.integers(0, n - 1))
+    if kind in ("cx", "cz", "swap"):
+        q2 = draw(st.integers(0, n - 1).filter(lambda q: q != q1))
+        return Gate(GateType[kind.upper()], (q1, q2))
+    mapping = {"h": GateType.H, "s": GateType.S, "sdg": GateType.S_DAG,
+               "x": GateType.X, "z": GateType.Z}
+    return Gate(mapping[kind], (q1,))
+
+
+@st.composite
+def clifford_circuits(draw, n=N_QUBITS, max_gates=12):
+    num = draw(st.integers(0, max_gates))
+    circ = Circuit(n)
+    for _ in range(num):
+        circ.append(draw(clifford_gates(n)))
+    return circ
+
+
+class TestGroupLaws:
+    @given(frames(), frames())
+    def test_multiply_commutative_mod_phase(self, a, b):
+        assert a.multiply(b) == b.multiply(a)
+
+    @given(frames())
+    def test_self_inverse(self, frame):
+        assert frame.multiply(frame).is_identity()
+
+    @given(frames(), frames(), frames())
+    def test_associative(self, a, b, c):
+        assert a.multiply(b).multiply(c) == a.multiply(b.multiply(c))
+
+    @given(frames())
+    def test_identity_element(self, frame):
+        assert frame.multiply(PauliFrame(N_QUBITS)) == frame
+
+    @given(frames())
+    def test_copy_equals_original(self, frame):
+        assert frame.copy() == frame
+
+    @given(frames())
+    def test_weight_bounds(self, frame):
+        assert 0 <= frame.weight() <= N_QUBITS
+
+
+class TestPropagationLaws:
+    @given(clifford_circuits(), frames(), frames())
+    @settings(max_examples=60)
+    def test_propagation_is_group_homomorphism(self, circ, a, b):
+        """Conjugation distributes over frame multiplication: pushing the
+        product through equals the product of the pushed frames."""
+        product = a.multiply(b)
+        for frame in (a, b, product):
+            for gate in circ:
+                propagate_gate(frame, gate)
+        assert a.multiply(b) == product
+
+    @given(clifford_circuits())
+    @settings(max_examples=60)
+    def test_identity_frame_stays_identity(self, circ):
+        frame = PauliFrame(N_QUBITS)
+        for gate in circ:
+            propagate_gate(frame, gate)
+        assert frame.is_identity()
+
+    @given(clifford_circuits(), frames())
+    @settings(max_examples=60)
+    def test_forward_then_reverse_restores(self, circ, frame):
+        """Propagating through a circuit then its inverse restores the
+        frame (H, CX, CZ, SWAP, X, Z are involutions on frames; S and
+        S_DAG act identically on frames, so the reversed gate list with
+        the same gates inverts the conjugation)."""
+        original = frame.copy()
+        for gate in circ:
+            propagate_gate(frame, gate)
+        for gate in reversed(list(circ)):
+            propagate_gate(frame, gate)
+        assert frame == original
+
+    @given(frames(), st.integers(0, N_QUBITS - 1))
+    def test_cx_preserves_weight_parity_on_others(self, frame, q):
+        """A gate never changes the Pauli on qubits it does not touch."""
+        other = (q + 1) % N_QUBITS
+        untouched = [i for i in range(N_QUBITS) if i not in (q, other)]
+        before = [frame.pauli_on(i) for i in untouched]
+        propagate_gate(frame, Gate(GateType.CX, (q, other)))
+        after = [frame.pauli_on(i) for i in untouched]
+        assert before == after

@@ -1,0 +1,88 @@
+"""Unit tests for repro.kernels.analysis (fast widths)."""
+
+import pytest
+
+from repro.kernels import analyze_kernel
+from repro.kernels.analysis import ZEROS_PER_QEC
+
+
+class TestAnalyzeKernel:
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_kernel("nope")
+
+    def test_kernel_names(self, qrca8, qcla8, qft8):
+        assert qrca8.name == "8-Bit QRCA"
+        assert qcla8.name == "8-Bit QCLA"
+        assert qft8.name == "8-Bit QFT"
+
+    def test_zero_total_is_two_per_gate(self, qrca8):
+        assert qrca8.zero_ancilla_total == ZEROS_PER_QEC * qrca8.total_gates
+
+    def test_bandwidths_positive(self, qrca8, qcla8, qft8):
+        for ka in (qrca8, qcla8, qft8):
+            assert ka.zero_bandwidth_per_ms > 0
+            assert ka.pi8_bandwidth_per_ms > 0
+
+    def test_execution_time_positive(self, qrca8):
+        assert qrca8.execution_time_us > 0
+
+    def test_qcla_demands_more_bandwidth_than_qrca(self, qrca8, qcla8):
+        """Log-depth parallelism translates into higher ancilla bandwidth."""
+        assert qcla8.zero_bandwidth_per_ms > 2 * qrca8.zero_bandwidth_per_ms
+
+    def test_table2_fractions_sum_to_one(self, qrca8):
+        row = qrca8.table2_row()
+        total = (
+            row["data_op_frac"] + row["qec_interact_frac"] + row["ancilla_prep_frac"]
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_ancilla_prep_dominates(self, qrca8, qcla8, qft8):
+        """The paper's core observation: prep is the bulk of the critical
+        path (>70%) for every kernel."""
+        for ka in (qrca8, qcla8, qft8):
+            assert ka.table2_row()["ancilla_prep_frac"] > 0.7
+
+    def test_data_op_is_small_fraction(self, qrca8):
+        assert qrca8.table2_row()["data_op_frac"] < 0.1
+
+    def test_non_transversal_fraction_substantial(self, qrca8, qcla8):
+        """Section 3.3: non-transversal gates are ~40% of the adders."""
+        for ka in (qrca8, qcla8):
+            assert 0.3 < ka.non_transversal_fraction < 0.55
+
+    def test_table3_row_keys(self, qrca8):
+        row = qrca8.table3_row()
+        assert set(row) == {"zero_bandwidth_per_ms", "pi8_bandwidth_per_ms"}
+
+
+class TestDemandProfile:
+    def test_profile_length(self, qrca8):
+        profile = qrca8.ancilla_demand_profile(buckets=50)
+        assert len(profile) == 50
+
+    def test_profile_times_monotone(self, qrca8):
+        profile = qrca8.ancilla_demand_profile(buckets=20)
+        times = [t for t, _ in profile]
+        assert times == sorted(times)
+
+    def test_profile_counts_nonnegative(self, qcla8):
+        assert all(c >= 0 for _, c in qcla8.ancilla_demand_profile())
+
+    def test_profile_total_reflects_all_gates(self, qrca8):
+        """Integrated demand (count x bucket residency) accounts for every
+        ancilla at least once."""
+        profile = qrca8.ancilla_demand_profile(buckets=30)
+        assert sum(c for _, c in profile) >= qrca8.zero_ancilla_total / 30
+
+    def test_invalid_buckets(self, qrca8):
+        with pytest.raises(ValueError):
+            qrca8.ancilla_demand_profile(buckets=0)
+
+    def test_peak_demand_exceeds_mean(self, qrca8, qcla8):
+        """Section 3.2: 'these averages do not take into account the
+        handling of peak periods' — peaks sit above the mean in-flight."""
+        for ka in (qrca8, qcla8):
+            counts = [c for _, c in ka.ancilla_demand_profile()]
+            assert max(counts) > sum(counts) / len(counts)

@@ -1,0 +1,141 @@
+"""Unit tests for repro.circuits.circuit."""
+
+import pytest
+
+from repro.circuits import Circuit, CircuitError
+from repro.circuits.gate import Gate, GateType
+
+
+class TestConstruction:
+    def test_empty_circuit(self):
+        circ = Circuit(3)
+        assert len(circ) == 0
+        assert circ.num_qubits == 3
+
+    def test_negative_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit(-1)
+
+    def test_builder_methods_chain(self):
+        circ = Circuit(2).h(0).cx(0, 1).t(1)
+        assert len(circ) == 3
+
+    def test_out_of_range_qubit_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit(2).h(2)
+
+    def test_duplicate_result_bit_rejected(self):
+        circ = Circuit(2).measure_z(0, "m")
+        with pytest.raises(CircuitError):
+            circ.measure_z(1, "m")
+
+    def test_condition_on_unwritten_bit_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit(1).x(0, condition="nope")
+
+    def test_condition_after_measurement_allowed(self):
+        circ = Circuit(2).measure_z(0, "m").x(1, condition="m")
+        assert circ[1].condition == "m"
+
+    def test_iteration_yields_gates(self):
+        circ = Circuit(1).h(0).t(0)
+        types = [g.gate_type for g in circ]
+        assert types == [GateType.H, GateType.T]
+
+    def test_indexing(self):
+        circ = Circuit(1).h(0).s(0)
+        assert circ[1].gate_type is GateType.S
+
+    def test_repr_contains_name(self):
+        assert "my" in repr(Circuit(1, name="my"))
+
+
+class TestCounting:
+    def test_gate_counts(self):
+        circ = Circuit(2).h(0).h(1).cx(0, 1)
+        counts = circ.gate_counts()
+        assert counts[GateType.H] == 2
+        assert counts[GateType.CX] == 1
+
+    def test_count_single_type(self):
+        circ = Circuit(1).t(0).t(0).tdg(0)
+        assert circ.count(GateType.T) == 2
+
+    def test_non_transversal_count(self):
+        circ = Circuit(2).h(0).t(0).tdg(1).cx(0, 1)
+        assert circ.non_transversal_count() == 2
+
+    def test_two_qubit_count(self):
+        circ = Circuit(3).cx(0, 1).cz(1, 2).h(0)
+        assert circ.two_qubit_count() == 2
+
+    def test_qubits_used(self):
+        circ = Circuit(5).h(1).cx(3, 4)
+        assert circ.qubits_used() == (1, 3, 4)
+
+    def test_depth_serial(self):
+        circ = Circuit(1).h(0).t(0).h(0)
+        assert circ.depth() == 3
+
+    def test_depth_parallel(self):
+        circ = Circuit(2).h(0).h(1)
+        assert circ.depth() == 1
+
+    def test_depth_two_qubit_sync(self):
+        circ = Circuit(2).h(0).cx(0, 1).h(1)
+        assert circ.depth() == 3
+
+    def test_depth_empty(self):
+        assert Circuit(4).depth() == 0
+
+
+class TestCompose:
+    def test_identity_mapping(self):
+        inner = Circuit(2).cx(0, 1)
+        outer = Circuit(2).h(0)
+        outer.compose(inner)
+        assert outer[1].qubits == (0, 1)
+
+    def test_remapping(self):
+        inner = Circuit(2).cx(0, 1)
+        outer = Circuit(4)
+        outer.compose(inner, qubit_map=[2, 3])
+        assert outer[0].qubits == (2, 3)
+
+    def test_short_map_rejected(self):
+        inner = Circuit(3).h(2)
+        with pytest.raises(CircuitError):
+            Circuit(5).compose(inner, qubit_map=[0, 1])
+
+    def test_result_bit_collision_renamed(self):
+        inner = Circuit(1, name="sub").measure_z(0, "m")
+        outer = Circuit(2).measure_z(0, "m")
+        outer.compose(inner, qubit_map=[1])
+        assert len(outer.result_bits) == 2
+        assert "m" in outer.result_bits
+
+    def test_condition_renamed_with_result(self):
+        inner = Circuit(1, name="sub").measure_z(0, "m").x(0, condition="m")
+        outer = Circuit(2).measure_z(0, "m")
+        outer.compose(inner, qubit_map=[1])
+        conditioned = outer[2]
+        assert conditioned.condition == outer[1].result
+
+    def test_copy_is_independent(self):
+        original = Circuit(1).h(0)
+        dup = original.copy()
+        dup.t(0)
+        assert len(original) == 1
+        assert len(dup) == 2
+
+
+class TestAppendValidation:
+    def test_append_prebuilt_gate(self):
+        circ = Circuit(2)
+        circ.append(Gate(GateType.CX, (0, 1)))
+        assert len(circ) == 1
+
+    def test_extend(self):
+        circ = Circuit(1)
+        circ.extend([Gate(GateType.H, (0,)), Gate(GateType.T, (0,))])
+        assert len(circ) == 2

@@ -1,0 +1,73 @@
+"""Unit tests for the CLI entry point and the GQLA generalization."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.arch.architectures import GqlaConfig, QlaConfig
+from repro.arch.supply import ZERO, DedicatedSupply
+from repro.tech import ION_TRAP
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table9" in out and "fig15" in out
+
+    def test_table(self, capsys):
+        assert main(["table4"]) == 0
+        assert "tturn" in capsys.readouterr().out
+
+    def test_unknown(self, capsys):
+        assert main(["tableXX"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_help(self, capsys):
+        assert main(["--help"]) == 0
+        assert "python -m repro" in capsys.readouterr().out
+
+    def test_no_args_shows_help(self, capsys):
+        assert main([]) == 0
+
+
+class TestGqla:
+    def test_is_a_qla(self):
+        assert isinstance(GqlaConfig(), QlaConfig)
+
+    def test_replication_validation(self):
+        with pytest.raises(ValueError):
+            GqlaConfig(replication=0)
+
+    def test_per_qubit_area(self):
+        config = GqlaConfig(replication=3)
+        assert config.per_qubit_area() == 3 * 298
+
+    def test_total_area(self):
+        config = GqlaConfig(replication=2)
+        assert config.area_for(10) == 10 * 2 * 298
+
+    def test_builds_dedicated_supply(self):
+        supply = GqlaConfig().build_supply(1000.0, 4, 10.0, 2.0, ION_TRAP)
+        assert isinstance(supply, DedicatedSupply)
+
+    def test_replication_buys_per_qubit_rate(self):
+        """At the per-qubit hardware allowance, higher replication means
+        proportionally more private bandwidth for a serial consumer."""
+        base = GqlaConfig(replication=1)
+        doubled = GqlaConfig(replication=2)
+        nq = 4
+        s1 = base.build_supply(base.area_for(nq), nq, 10.0, 2.0, ION_TRAP)
+        s2 = doubled.build_supply(doubled.area_for(nq), nq, 10.0, 2.0, ION_TRAP)
+        t1 = s1.acquire(ZERO, 0, 10, 0.0)
+        t2 = s2.acquire(ZERO, 0, 10, 0.0)
+        assert t2 == pytest.approx(t1 / 2)
+
+    def test_dedication_pathology_persists(self):
+        """Replication cannot move idle capacity between qubits: a serial
+        consumer on one qubit still waits while others idle."""
+        config = GqlaConfig(replication=4)
+        nq = 8
+        supply = config.build_supply(config.area_for(nq), nq, 10.0, 2.0, ION_TRAP)
+        busy = supply.acquire(ZERO, 0, 100, 0.0)
+        idle = supply.acquire(ZERO, 7, 1, 0.0)
+        assert busy > 50 * idle  # qubit 7's generator barely touched

@@ -1,0 +1,74 @@
+"""Unit tests for repro.kernels.decompose."""
+
+import pytest
+
+from repro.circuits import Circuit
+from repro.circuits.gate import GateType
+from repro.kernels.decompose import ENCODED_GATE_SET, decompose_to_encoded_gates
+
+
+def lowered_types(circ):
+    return {g.gate_type for g in decompose_to_encoded_gates(circ)}
+
+
+class TestLowering:
+    def test_output_stays_in_encoded_set(self):
+        circ = Circuit(3).ccx(0, 1, 2).crz(0, 1, k=5).rz(2, k=4).swap(0, 2)
+        assert lowered_types(circ) <= ENCODED_GATE_SET
+
+    def test_idempotent_on_lowered(self):
+        circ = Circuit(2).h(0).t(0).cx(0, 1)
+        once = decompose_to_encoded_gates(circ)
+        twice = decompose_to_encoded_gates(once)
+        assert [g.gate_type for g in once] == [g.gate_type for g in twice]
+
+    def test_toffoli_t_count_is_seven(self):
+        circ = Circuit(3).ccx(0, 1, 2)
+        lowered = decompose_to_encoded_gates(circ)
+        t_gates = lowered.count(GateType.T) + lowered.count(GateType.T_DAG)
+        assert t_gates == 7
+
+    def test_toffoli_cx_count_is_six(self):
+        lowered = decompose_to_encoded_gates(Circuit(3).ccx(0, 1, 2))
+        assert lowered.count(GateType.CX) == 6
+
+    def test_cs_t_count_is_three(self):
+        lowered = decompose_to_encoded_gates(Circuit(2).cs(0, 1))
+        assert lowered.count(GateType.T) + lowered.count(GateType.T_DAG) == 3
+
+    def test_crz1_is_cz(self):
+        lowered = decompose_to_encoded_gates(Circuit(2).crz(0, 1, k=1))
+        assert len(lowered) == 1
+        assert lowered[0].gate_type is GateType.CZ
+
+    def test_crz2_is_cs_network(self):
+        lowered = decompose_to_encoded_gates(Circuit(2).crz(0, 1, k=2))
+        assert lowered.count(GateType.CX) == 2
+
+    def test_crz_k3_uses_two_cx_three_rotations(self):
+        lowered = decompose_to_encoded_gates(Circuit(2).crz(0, 1, k=3))
+        assert lowered.count(GateType.CX) == 2
+        # Rotations by pi/16 use the 12-T precomputed word each.
+        assert lowered.count(GateType.T) + lowered.count(GateType.T_DAG) == 36
+
+    def test_rz_exact_cases(self):
+        assert lowered_types(Circuit(1).rz(0, k=1)) == {GateType.S}
+        assert lowered_types(Circuit(1).rz(0, k=2)) == {GateType.T}
+
+    def test_swap_is_three_cx(self):
+        lowered = decompose_to_encoded_gates(Circuit(2).swap(0, 1))
+        assert lowered.count(GateType.CX) == 3
+        assert len(lowered) == 3
+
+    def test_measurements_preserved(self):
+        circ = Circuit(1).measure_z(0, "m")
+        lowered = decompose_to_encoded_gates(circ)
+        assert lowered[0].result == "m"
+
+    def test_inverse_rotation_word_reverses(self):
+        """The CRZ decomposition's inverse rotation is the reversed,
+        adjointed word: equal T-type count in both directions."""
+        lowered = decompose_to_encoded_gates(Circuit(2).crz(0, 1, k=4))
+        t = lowered.count(GateType.T)
+        tdg = lowered.count(GateType.T_DAG)
+        assert (t + tdg) % 3 == 0

@@ -1,0 +1,115 @@
+"""Unit tests for repro.factory.units: Table 5 and Table 7 values."""
+
+import pytest
+
+from repro.factory.units import (
+    VERIFICATION_SURVIVAL,
+    FunctionalUnit,
+    pi8_units,
+    zero_factory_units,
+)
+from repro.layout.schedules import OpSchedule
+from repro.tech import ION_TRAP
+
+
+class TestTable5:
+    units = zero_factory_units()
+
+    @pytest.mark.parametrize(
+        "name,latency,bw_in,bw_out,area",
+        [
+            ("zero_prep", 73, 13.7, 13.7, 1),
+            ("cx_stage", 95, 221.1, 221.1, 28),
+            ("cat_prep", 62, 96.8, 96.8, 6),
+            ("verification", 82, 122.0, 85.2, 10),
+            ("bp_correction", 138, 152.2, 50.7, 21),
+        ],
+    )
+    def test_row(self, name, latency, bw_in, bw_out, area):
+        unit = self.units[name]
+        assert unit.latency() == latency
+        assert unit.bandwidth_in() == pytest.approx(bw_in, abs=0.05)
+        assert unit.bandwidth_out() == pytest.approx(bw_out, abs=0.05)
+        assert unit.area == area
+
+    def test_cx_stage_is_three_deep(self):
+        assert self.units["cx_stage"].internal_stages == 3
+
+    def test_cat_prep_is_two_deep(self):
+        assert self.units["cat_prep"].internal_stages == 2
+
+    def test_verification_survival(self):
+        assert self.units["verification"].survival == VERIFICATION_SURVIVAL == 0.998
+
+    def test_bp_consumes_two_of_three(self):
+        unit = self.units["bp_correction"]
+        assert unit.qubits_in == 21
+        assert unit.qubits_out == 7
+
+
+class TestTable7:
+    units = pi8_units()
+
+    @pytest.mark.parametrize(
+        "name,latency,bw_in,bw_out,area",
+        [
+            ("cat_state_prepare", 218, 32.1, 32.1, 12),
+            ("transversal_interact", 53, 264.2, 264.2, 7),
+            ("decode_store", 218, 64.2, 36.7, 19),
+            ("h_measure_correct", 74, 108.1, 94.6, 8),
+        ],
+    )
+    def test_row(self, name, latency, bw_in, bw_out, area):
+        unit = self.units[name]
+        assert unit.latency() == latency
+        assert unit.bandwidth_in() == pytest.approx(bw_in, abs=0.05)
+        assert unit.bandwidth_out() == pytest.approx(bw_out, abs=0.05)
+        assert unit.area == area
+
+    def test_decode_emits_eight_qubits(self):
+        unit = self.units["decode_store"]
+        assert unit.qubits_in == 14
+        assert unit.qubits_out == 8
+
+
+class TestFunctionalUnitValidation:
+    def _unit(self, **overrides):
+        kwargs = dict(
+            name="u",
+            schedule=OpSchedule("u", two_qubit=1),
+            internal_stages=1,
+            qubits_in=1,
+            qubits_out=1,
+            area=1,
+            height=1,
+        )
+        kwargs.update(overrides)
+        return FunctionalUnit(**kwargs)
+
+    def test_valid(self):
+        assert self._unit().latency(ION_TRAP) == 10.0
+
+    def test_bad_stage_count(self):
+        with pytest.raises(ValueError):
+            self._unit(internal_stages=0)
+
+    def test_bad_batch(self):
+        with pytest.raises(ValueError):
+            self._unit(qubits_in=0)
+
+    def test_bad_survival(self):
+        with pytest.raises(ValueError):
+            self._unit(survival=0.0)
+
+    def test_bad_area(self):
+        with pytest.raises(ValueError):
+            self._unit(area=0)
+
+    def test_initiation_interval(self):
+        unit = self._unit(internal_stages=2)
+        assert unit.initiation_interval(ION_TRAP) == 5.0
+
+    def test_bandwidth_scales_with_technology(self):
+        unit = self._unit()
+        fast = ION_TRAP.scaled(0.5)
+        assert unit.bandwidth_in(fast) == 2 * unit.bandwidth_in(ION_TRAP)

@@ -1,0 +1,51 @@
+"""Unit tests for repro.layout.floorplans: Figure 13 unit layouts."""
+
+import pytest
+
+from repro.layout.floorplans import (
+    EXPECTED_UNIT_AREAS,
+    all_unit_grids,
+    crossbar_grid,
+)
+
+
+class TestUnitFloorplans:
+    @pytest.mark.parametrize("name", sorted(EXPECTED_UNIT_AREAS))
+    def test_area_matches_table5(self, name):
+        grids = all_unit_grids()
+        assert grids[name].area == EXPECTED_UNIT_AREAS[name]
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_UNIT_AREAS))
+    def test_connected(self, name):
+        all_unit_grids()[name].validate_connected()
+
+    def test_cx_stage_gate_capacity(self):
+        """Three rows of seven gate locations hold the three in-flight
+        seven-qubit batches of the pipelined CX stage."""
+        grid = all_unit_grids()["cx_stage_unit"]
+        assert len(grid.gate_locations) == 21
+
+    def test_verification_holds_ten_qubits(self):
+        grid = all_unit_grids()["verification_unit"]
+        assert len(grid.gate_locations) == 10
+
+    def test_bp_correction_holds_three_ancillae(self):
+        grid = all_unit_grids()["bp_correction_unit"]
+        assert len(grid.gate_locations) == 21
+
+
+class TestCrossbars:
+    def test_area_is_height_times_columns(self):
+        assert crossbar_grid(30, columns=2).area == 60
+        assert crossbar_grid(24, columns=1).area == 24
+
+    def test_connected(self):
+        crossbar_grid(10, columns=2).validate_connected()
+
+    def test_invalid_height(self):
+        with pytest.raises(ValueError):
+            crossbar_grid(0)
+
+    def test_invalid_columns(self):
+        with pytest.raises(ValueError):
+            crossbar_grid(5, columns=0)

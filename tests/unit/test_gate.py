@@ -1,0 +1,112 @@
+"""Unit tests for repro.circuits.gate."""
+
+import pytest
+
+from repro.circuits.gate import (
+    CLIFFORD_GATES,
+    GATE_ARITY,
+    NON_TRANSVERSAL_GATES,
+    TRANSVERSAL_GATES,
+    Gate,
+    GateKind,
+    GateType,
+)
+
+
+class TestGateConstruction:
+    def test_one_qubit_gate(self):
+        gate = Gate(GateType.H, (3,))
+        assert gate.qubits == (3,)
+
+    def test_two_qubit_gate(self):
+        gate = Gate(GateType.CX, (0, 1))
+        assert gate.is_two_qubit
+
+    def test_toffoli_arity(self):
+        gate = Gate(GateType.CCX, (0, 1, 2))
+        assert len(gate.qubits) == 3
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            Gate(GateType.CX, (0,))
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Gate(GateType.CX, (2, 2))
+
+    def test_negative_qubit_rejected(self):
+        with pytest.raises(ValueError):
+            Gate(GateType.X, (-1,))
+
+    def test_rz_requires_angle(self):
+        with pytest.raises(ValueError):
+            Gate(GateType.RZ, (0,))
+
+    def test_rz_rejects_angle_below_one(self):
+        with pytest.raises(ValueError):
+            Gate(GateType.RZ, (0,), angle_k=0)
+
+    def test_crz_carries_angle(self):
+        gate = Gate(GateType.CRZ, (0, 1), angle_k=5)
+        assert gate.angle_k == 5
+
+    def test_measurement_requires_result(self):
+        with pytest.raises(ValueError):
+            Gate(GateType.MEASURE_Z, (0,))
+
+    def test_measurement_with_result(self):
+        gate = Gate(GateType.MEASURE_Z, (0,), result="m0")
+        assert gate.is_measurement
+
+
+class TestGateKind:
+    def test_prep_kind(self):
+        assert Gate(GateType.PREP_0, (0,)).kind is GateKind.PREP
+
+    def test_measure_kind(self):
+        assert Gate(GateType.MEASURE_X, (0,), result="m").kind is GateKind.MEASURE
+
+    def test_two_qubit_kind(self):
+        assert Gate(GateType.CZ, (0, 1)).kind is GateKind.TWO_QUBIT
+
+    def test_toffoli_counts_as_multiqubit(self):
+        assert Gate(GateType.CCX, (0, 1, 2)).kind is GateKind.TWO_QUBIT
+
+    def test_one_qubit_kind(self):
+        assert Gate(GateType.T, (0,)).kind is GateKind.ONE_QUBIT
+
+
+class TestGateSets:
+    def test_every_type_has_arity(self):
+        for gate_type in GateType:
+            assert gate_type in GATE_ARITY
+
+    def test_transversal_and_non_transversal_disjoint(self):
+        assert not (TRANSVERSAL_GATES & NON_TRANSVERSAL_GATES)
+
+    def test_t_gate_non_transversal(self):
+        assert GateType.T in NON_TRANSVERSAL_GATES
+
+    def test_cx_transversal(self):
+        assert GateType.CX in TRANSVERSAL_GATES
+
+    def test_t_not_clifford(self):
+        assert GateType.T not in CLIFFORD_GATES
+
+    def test_h_s_cx_clifford(self):
+        assert {GateType.H, GateType.S, GateType.CX} <= CLIFFORD_GATES
+
+    def test_prep_is_transversal_property(self):
+        assert Gate(GateType.PREP_0, (0,)).is_transversal
+
+    def test_describe_mentions_gate_and_qubits(self):
+        text = Gate(GateType.CX, (1, 4)).describe()
+        assert "CX" in text and "q1" in text and "q4" in text
+
+    def test_describe_mentions_angle(self):
+        text = Gate(GateType.RZ, (0,), angle_k=4).describe()
+        assert "2^4" in text
+
+    def test_describe_mentions_condition(self):
+        gate = Gate(GateType.X, (0,), condition="m0")
+        assert "if m0" in gate.describe()

@@ -1,0 +1,126 @@
+"""Unit tests for repro.error.pauli: Pauli frames."""
+
+import numpy as np
+import pytest
+
+from repro.error.pauli import PauliFrame
+
+
+class TestFrameBasics:
+    def test_starts_identity(self):
+        assert PauliFrame(5).is_identity()
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            PauliFrame(-1)
+
+    def test_apply_x(self):
+        frame = PauliFrame(2)
+        frame.apply_x(1)
+        assert frame.pauli_on(1) == "X"
+
+    def test_apply_z(self):
+        frame = PauliFrame(2)
+        frame.apply_z(0)
+        assert frame.pauli_on(0) == "Z"
+
+    def test_apply_y_is_x_and_z(self):
+        frame = PauliFrame(1)
+        frame.apply_y(0)
+        assert frame.pauli_on(0) == "Y"
+
+    def test_double_x_cancels(self):
+        frame = PauliFrame(1)
+        frame.apply_x(0)
+        frame.apply_x(0)
+        assert frame.is_identity()
+
+    def test_apply_named_pauli(self):
+        frame = PauliFrame(1)
+        frame.apply_pauli(0, "Y")
+        assert frame.pauli_on(0) == "Y"
+
+    def test_apply_identity_noop(self):
+        frame = PauliFrame(1)
+        frame.apply_pauli(0, "I")
+        assert frame.is_identity()
+
+    def test_unknown_pauli_rejected(self):
+        with pytest.raises(ValueError):
+            PauliFrame(1).apply_pauli(0, "Q")
+
+    def test_clear(self):
+        frame = PauliFrame(2)
+        frame.apply_y(0)
+        frame.clear(0)
+        assert frame.is_identity()
+
+
+class TestFrameQueries:
+    def test_weight_total(self):
+        frame = PauliFrame(4)
+        frame.apply_x(0)
+        frame.apply_z(2)
+        assert frame.weight() == 2
+
+    def test_weight_subset(self):
+        frame = PauliFrame(4)
+        frame.apply_x(0)
+        frame.apply_x(3)
+        assert frame.weight([0, 1]) == 1
+
+    def test_vectors_restrict_and_copy(self):
+        frame = PauliFrame(4)
+        frame.apply_x(2)
+        vec = frame.x_vector([2, 3])
+        assert vec.tolist() == [1, 0]
+        vec[0] = 0
+        assert frame.x[2] == 1  # copy, not a view
+
+    def test_support(self):
+        frame = PauliFrame(5)
+        frame.apply_z(4)
+        frame.apply_y(1)
+        assert frame.support() == (1, 4)
+
+    def test_repr_labels(self):
+        frame = PauliFrame(3)
+        frame.apply_x(0)
+        frame.apply_y(2)
+        assert "XIY" in repr(frame)
+
+
+class TestGroupStructure:
+    def test_multiply_is_xor(self):
+        a = PauliFrame(2)
+        a.apply_x(0)
+        b = PauliFrame(2)
+        b.apply_x(0)
+        b.apply_z(1)
+        product = a.multiply(b)
+        assert product.pauli_on(0) == "I"
+        assert product.pauli_on(1) == "Z"
+
+    def test_multiply_size_mismatch(self):
+        with pytest.raises(ValueError):
+            PauliFrame(2).multiply(PauliFrame(3))
+
+    def test_copy_independent(self):
+        frame = PauliFrame(1)
+        dup = frame.copy()
+        dup.apply_x(0)
+        assert frame.is_identity()
+
+    def test_equality_and_hash(self):
+        a = PauliFrame(2)
+        b = PauliFrame(2)
+        a.apply_x(1)
+        b.apply_x(1)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        a = PauliFrame(2)
+        b = PauliFrame(2)
+        b.apply_z(0)
+        assert a != b

@@ -1,0 +1,142 @@
+"""Unit tests for repro.error.propagation: Clifford conjugation rules."""
+
+import pytest
+
+from repro.circuits.gate import Gate, GateType
+from repro.error.pauli import PauliFrame
+from repro.error.propagation import measurement_flipped, propagate_gate
+
+
+def frame_with(n, **paulis):
+    frame = PauliFrame(n)
+    for key, qubit in paulis.items():
+        frame.apply_pauli(qubit, key.rstrip("_").upper()[0])
+    return frame
+
+
+class TestHadamard:
+    def test_x_becomes_z(self):
+        frame = frame_with(1, x=0)
+        propagate_gate(frame, Gate(GateType.H, (0,)))
+        assert frame.pauli_on(0) == "Z"
+
+    def test_z_becomes_x(self):
+        frame = frame_with(1, z=0)
+        propagate_gate(frame, Gate(GateType.H, (0,)))
+        assert frame.pauli_on(0) == "X"
+
+    def test_y_stays_y(self):
+        frame = frame_with(1, y=0)
+        propagate_gate(frame, Gate(GateType.H, (0,)))
+        assert frame.pauli_on(0) == "Y"
+
+
+class TestPhaseGate:
+    def test_x_becomes_y(self):
+        frame = frame_with(1, x=0)
+        propagate_gate(frame, Gate(GateType.S, (0,)))
+        assert frame.pauli_on(0) == "Y"
+
+    def test_z_fixed(self):
+        frame = frame_with(1, z=0)
+        propagate_gate(frame, Gate(GateType.S, (0,)))
+        assert frame.pauli_on(0) == "Z"
+
+    def test_sdg_matches_s_on_frames(self):
+        a = frame_with(1, x=0)
+        b = frame_with(1, x=0)
+        propagate_gate(a, Gate(GateType.S, (0,)))
+        propagate_gate(b, Gate(GateType.S_DAG, (0,)))
+        assert a == b
+
+
+class TestCx:
+    def test_x_on_control_spreads(self):
+        frame = frame_with(2, x=0)
+        propagate_gate(frame, Gate(GateType.CX, (0, 1)))
+        assert frame.pauli_on(0) == "X"
+        assert frame.pauli_on(1) == "X"
+
+    def test_z_on_target_spreads(self):
+        frame = frame_with(2, z=1)
+        propagate_gate(frame, Gate(GateType.CX, (0, 1)))
+        assert frame.pauli_on(0) == "Z"
+        assert frame.pauli_on(1) == "Z"
+
+    def test_x_on_target_stays(self):
+        frame = frame_with(2, x=1)
+        propagate_gate(frame, Gate(GateType.CX, (0, 1)))
+        assert frame.pauli_on(0) == "I"
+        assert frame.pauli_on(1) == "X"
+
+    def test_z_on_control_stays(self):
+        frame = frame_with(2, z=0)
+        propagate_gate(frame, Gate(GateType.CX, (0, 1)))
+        assert frame.pauli_on(1) == "I"
+
+
+class TestCz:
+    def test_x_picks_up_z_on_partner(self):
+        frame = frame_with(2, x=0)
+        propagate_gate(frame, Gate(GateType.CZ, (0, 1)))
+        assert frame.pauli_on(0) == "X"
+        assert frame.pauli_on(1) == "Z"
+
+    def test_symmetric(self):
+        frame = frame_with(2, x=1)
+        propagate_gate(frame, Gate(GateType.CZ, (0, 1)))
+        assert frame.pauli_on(0) == "Z"
+
+    def test_z_fixed(self):
+        frame = frame_with(2, z=0)
+        propagate_gate(frame, Gate(GateType.CZ, (0, 1)))
+        assert frame.pauli_on(1) == "I"
+
+
+class TestSwapAndPrep:
+    def test_swap_exchanges(self):
+        frame = frame_with(2, y=0)
+        propagate_gate(frame, Gate(GateType.SWAP, (0, 1)))
+        assert frame.pauli_on(0) == "I"
+        assert frame.pauli_on(1) == "Y"
+
+    def test_prep_clears(self):
+        frame = frame_with(1, y=0)
+        propagate_gate(frame, Gate(GateType.PREP_0, (0,)))
+        assert frame.is_identity()
+
+    def test_pauli_gates_noop_on_frame(self):
+        frame = frame_with(1, x=0)
+        propagate_gate(frame, Gate(GateType.Z, (0,)))
+        assert frame.pauli_on(0) == "X"
+
+    def test_t_passes_pauli_part(self):
+        frame = frame_with(1, x=0)
+        propagate_gate(frame, Gate(GateType.T, (0,)))
+        assert frame.pauli_on(0) == "X"
+
+
+class TestMeasurementFlips:
+    def test_z_measure_flipped_by_x(self):
+        frame = frame_with(1, x=0)
+        gate = Gate(GateType.MEASURE_Z, (0,), result="m")
+        assert measurement_flipped(frame, gate)
+
+    def test_z_measure_unaffected_by_z(self):
+        frame = frame_with(1, z=0)
+        gate = Gate(GateType.MEASURE_Z, (0,), result="m")
+        assert not measurement_flipped(frame, gate)
+
+    def test_x_measure_flipped_by_z(self):
+        frame = frame_with(1, z=0)
+        gate = Gate(GateType.MEASURE_X, (0,), result="m")
+        assert measurement_flipped(frame, gate)
+
+    def test_y_flips_both_bases(self):
+        frame = frame_with(1, y=0)
+        assert measurement_flipped(frame, Gate(GateType.MEASURE_Z, (0,), result="a"))
+        assert measurement_flipped(frame, Gate(GateType.MEASURE_X, (0,), result="b"))
+
+    def test_non_measurement_rejected(self):
+        with pytest.raises(ValueError):
+            measurement_flipped(PauliFrame(1), Gate(GateType.H, (0,)))

@@ -1,0 +1,74 @@
+"""Unit tests for repro.arch.qalypso."""
+
+import pytest
+
+from repro.arch.qalypso import (
+    QalypsoTile,
+    compare_with_cqla,
+    teleport_qec_ancilla_overhead,
+    tile_for_kernel,
+)
+from repro.factory import Pi8Factory, PipelinedZeroFactory
+
+
+class TestTile:
+    def test_area_accounting(self):
+        tile = QalypsoTile(data_qubits=10, zero_factories=2, pi8_factories=1)
+        assert tile.data_area == 70
+        assert tile.factory_area == 2 * 298 + 403
+        assert tile.total_area == tile.data_area + tile.factory_area
+
+    def test_bandwidths(self):
+        tile = QalypsoTile(data_qubits=10, zero_factories=3, pi8_factories=1)
+        zero = PipelinedZeroFactory()
+        pi8 = Pi8Factory()
+        assert tile.pi8_bandwidth_per_ms == pytest.approx(pi8.throughput_per_ms)
+        expected_net = 3 * zero.throughput_per_ms - pi8.throughput_per_ms
+        assert tile.zero_bandwidth_per_ms == pytest.approx(expected_net)
+
+    def test_zero_bandwidth_never_negative(self):
+        tile = QalypsoTile(data_qubits=10, zero_factories=1, pi8_factories=3)
+        assert tile.zero_bandwidth_per_ms == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QalypsoTile(data_qubits=0, zero_factories=1, pi8_factories=0)
+        with pytest.raises(ValueError):
+            QalypsoTile(data_qubits=1, zero_factories=-1, pi8_factories=0)
+
+    def test_distribution_latency_scales_with_region(self):
+        small = QalypsoTile(data_qubits=4, zero_factories=1, pi8_factories=0)
+        large = QalypsoTile(data_qubits=400, zero_factories=1, pi8_factories=0)
+        assert large.distribution_latency_us() > small.distribution_latency_us()
+
+
+class TestTileForKernel:
+    def test_provisioned_tile_meets_demand(self, qrca8):
+        tile = tile_for_kernel(qrca8)
+        assert tile.zero_bandwidth_per_ms >= qrca8.zero_bandwidth_per_ms
+        assert tile.pi8_bandwidth_per_ms >= qrca8.pi8_bandwidth_per_ms
+
+    def test_tile_data_matches_kernel(self, qrca8):
+        assert tile_for_kernel(qrca8).data_qubits == qrca8.data_qubits
+
+
+class TestComparison:
+    def test_qalypso_faster_than_cqla(self, qrca8):
+        comparison = compare_with_cqla(qrca8)
+        assert comparison.speedup > 1.0
+
+    def test_speedup_definition(self, qrca8):
+        comparison = compare_with_cqla(qrca8)
+        assert comparison.speedup == pytest.approx(
+            comparison.cqla.makespan_us / comparison.qalypso.makespan_us
+        )
+
+    def test_explicit_area(self, qrca8):
+        comparison = compare_with_cqla(qrca8, factory_area=5000.0)
+        assert comparison.factory_area == 5000.0
+
+
+class TestAside:
+    def test_teleport_qec_doubles_ancillae(self):
+        overhead = teleport_qec_ancilla_overhead()
+        assert overhead["qec_via_teleport"] == 2 * overhead["qec_step"]

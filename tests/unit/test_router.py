@@ -1,0 +1,79 @@
+"""Unit tests for repro.layout.router: latency-weighted routing."""
+
+import pytest
+
+from repro.layout.grid import Grid
+from repro.layout.macroblock import Direction, four_way
+from repro.layout.router import MovePlan, Router
+from repro.tech import ION_TRAP
+
+
+def open_grid(rows, cols):
+    grid = Grid()
+    for r in range(rows):
+        for c in range(cols):
+            grid.place((r, c), four_way())
+    return grid
+
+
+class TestRouting:
+    def test_same_cell_zero_cost(self):
+        router = Router(open_grid(2, 2), ION_TRAP)
+        plan = router.route((0, 0), (0, 0))
+        assert plan.hops == 0
+        assert plan.latency(ION_TRAP) == 0.0
+
+    def test_straight_line_costs_moves(self):
+        router = Router(open_grid(1, 5), ION_TRAP)
+        plan = router.route((0, 0), (0, 4))
+        assert plan.straight_moves == 4
+        assert plan.turns == 0
+        assert plan.latency(ION_TRAP) == 4 * ION_TRAP.t_move
+
+    def test_l_path_costs_one_turn(self):
+        router = Router(open_grid(3, 3), ION_TRAP)
+        plan = router.route((0, 0), (2, 2))
+        # 4 hops total; exactly one heading change on an optimal route.
+        assert plan.hops == 4
+        assert plan.turns == 1
+        assert plan.latency(ION_TRAP) == 3 * ION_TRAP.t_move + ION_TRAP.t_turn
+
+    def test_prefers_fewer_turns_over_fewer_hops(self):
+        """With turns 10x a straight move, minimum-time paths minimize
+        heading changes even at equal hop count."""
+        router = Router(open_grid(5, 5), ION_TRAP)
+        plan = router.route((0, 0), (4, 4))
+        assert plan.turns == 1
+
+    def test_initial_heading_charges_turn(self):
+        router = Router(open_grid(1, 3), ION_TRAP)
+        eastward = router.route((0, 0), (0, 2), initial_heading=Direction.EAST)
+        assert eastward.turns == 0
+        # Heading south, the first hop east is a turn.
+        turned = router.route((0, 0), (0, 2), initial_heading=Direction.SOUTH)
+        assert turned.turns == 1
+
+    def test_unreachable_returns_none(self):
+        grid = Grid()
+        grid.place((0, 0), four_way())
+        grid.place((5, 5), four_way())
+        router = Router(grid, ION_TRAP)
+        assert router.route((0, 0), (5, 5)) is None
+
+    def test_unknown_cell_returns_none(self):
+        router = Router(open_grid(2, 2), ION_TRAP)
+        assert router.route((0, 0), (9, 9)) is None
+
+    def test_latency_helper(self):
+        router = Router(open_grid(1, 4), ION_TRAP)
+        assert router.latency((0, 0), (0, 3)) == 3 * ION_TRAP.t_move
+
+
+class TestMovePlan:
+    def test_hops_sum(self):
+        plan = MovePlan(((0, 0), (0, 1)), straight_moves=1, turns=0)
+        assert plan.hops == 1
+
+    def test_latency_formula(self):
+        plan = MovePlan(((0, 0),), straight_moves=3, turns=2)
+        assert plan.latency(ION_TRAP) == 3 * 1.0 + 2 * 10.0

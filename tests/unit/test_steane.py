@@ -1,0 +1,80 @@
+"""Unit tests for repro.codes.steane: the [[7,1,3]] code and encoder."""
+
+import numpy as np
+
+from repro.circuits.gate import GateType
+from repro.codes.steane import (
+    ENCODER_CX_ROUNDS,
+    ENCODER_H_QUBITS,
+    HAMMING_PARITY_CHECK,
+    STEANE,
+    encoder_cx_list,
+    steane_code,
+    steane_zero_prep_circuit,
+)
+
+
+class TestCodeStructure:
+    def test_self_dual(self):
+        assert np.array_equal(STEANE.x_stabilizers, STEANE.z_stabilizers)
+
+    def test_stabilizer_weights_are_four(self):
+        assert all(row.sum() == 4 for row in HAMMING_PARITY_CHECK)
+
+    def test_fresh_instance_equal(self):
+        assert steane_code().parameters == STEANE.parameters
+
+
+class TestEncoderCircuit:
+    def test_gate_census_matches_figure_3b(self):
+        circ = steane_zero_prep_circuit()
+        counts = circ.gate_counts()
+        assert counts[GateType.PREP_0] == 7
+        assert counts[GateType.H] == 3
+        assert counts[GateType.CX] == 9
+
+    def test_without_preps(self):
+        circ = steane_zero_prep_circuit(include_prep=False)
+        assert circ.count(GateType.PREP_0) == 0
+        assert len(circ) == 12
+
+    def test_h_on_pivot_qubits(self):
+        assert ENCODER_H_QUBITS == (0, 1, 3)
+
+    def test_three_rounds_of_three(self):
+        assert len(ENCODER_CX_ROUNDS) == 3
+        assert all(len(r) == 3 for r in ENCODER_CX_ROUNDS)
+
+    def test_rounds_are_parallel(self):
+        for round_gates in ENCODER_CX_ROUNDS:
+            touched = [q for pair in round_gates for q in pair]
+            assert len(set(touched)) == len(touched)
+
+    def test_cx_controls_are_pivots(self):
+        controls = {c for c, _ in encoder_cx_list()}
+        assert controls == set(ENCODER_H_QUBITS)
+
+    def test_encoder_depth(self):
+        # Preps (1) + H (1) + 3 parallel CX rounds = depth 5.
+        assert steane_zero_prep_circuit().depth() == 5
+
+    def test_encoder_stabilizes_x_generators(self):
+        """Each X stabilizer row propagated backward through the encoder
+        must come from a Pauli the initial state is stabilized by.
+
+        Equivalent forward check: pushing X on a pivot qubit through the
+        CX rounds yields exactly that pivot's stabilizer row support.
+        """
+        from repro.error.pauli import PauliFrame
+        from repro.error.propagation import propagate_gate
+
+        circ = steane_zero_prep_circuit(include_prep=False)
+        for pivot, row in zip(ENCODER_H_QUBITS, HAMMING_PARITY_CHECK[::-1]):
+            frame = PauliFrame(7)
+            frame.apply_x(pivot)
+            for gate in circ:
+                if gate.gate_type is GateType.CX:
+                    propagate_gate(frame, gate)
+            support = {i for i, bit in enumerate(row) if bit}
+            assert set(frame.support()) == support
+            assert not frame.z.any()

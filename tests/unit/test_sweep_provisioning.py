@@ -1,0 +1,97 @@
+"""Unit tests for repro.arch.sweep and repro.arch.provisioning."""
+
+import pytest
+
+from repro.arch import ArchitectureKind
+from repro.arch.provisioning import area_breakdown
+from repro.arch.sweep import (
+    area_sweep,
+    area_to_reach,
+    plateau_makespan,
+    throughput_sweep,
+)
+
+
+class TestThroughputSweep:
+    def test_monotone_nonincreasing(self, qrca8):
+        points = throughput_sweep(qrca8)
+        makespans = [p.makespan_us for p in points]
+        assert all(a >= b - 1e-6 for a, b in zip(makespans, makespans[1:]))
+
+    def test_starved_end_much_slower(self, qrca8):
+        points = throughput_sweep(qrca8)
+        assert points[0].makespan_us > 4 * points[-1].makespan_us
+
+    def test_plateau_near_speed_of_data(self, qrca8):
+        from repro.arch.simulator import DataflowSimulator
+
+        floor = DataflowSimulator(qrca8.circuit, qrca8.tech).run().makespan_us
+        points = throughput_sweep(qrca8)
+        assert points[-1].makespan_us == pytest.approx(floor, rel=0.05)
+
+    def test_custom_rates(self, qrca8):
+        points = throughput_sweep(qrca8, [1.0, 10.0])
+        assert [p.x for p in points] == [1.0, 10.0]
+
+    def test_knee_near_average_bandwidth(self, qcla8):
+        """At the Table 3 average bandwidth the kernel should run within
+        a small factor of its floor (Figure 8's vertical line)."""
+        avg = qcla8.zero_bandwidth_per_ms
+        points = throughput_sweep(qcla8, [avg])
+        floor = throughput_sweep(qcla8, [avg * 64])[0].makespan_us
+        assert points[0].makespan_us < 3 * floor
+
+
+class TestAreaSweep:
+    def test_all_architectures_present(self, qrca8):
+        curves = area_sweep(qrca8, areas=[1000.0, 10000.0])
+        assert set(curves) == set(ArchitectureKind)
+
+    def test_more_area_never_hurts(self, qrca8):
+        curves = area_sweep(qrca8, areas=[500.0, 5000.0, 50000.0])
+        for points in curves.values():
+            makespans = [p.makespan_us for p in points]
+            assert all(a >= b - 1e-6 for a, b in zip(makespans, makespans[1:]))
+
+    def test_multiplexed_dominates_qla_at_small_area(self, qrca8):
+        curves = area_sweep(
+            qrca8,
+            areas=[2000.0],
+            kinds=[ArchitectureKind.QLA, ArchitectureKind.MULTIPLEXED],
+        )
+        qla = curves[ArchitectureKind.QLA][0].makespan_us
+        mux = curves[ArchitectureKind.MULTIPLEXED][0].makespan_us
+        assert mux < qla
+
+    def test_helpers(self, qrca8):
+        curves = area_sweep(qrca8, areas=[1000.0, 100000.0])
+        points = curves[ArchitectureKind.MULTIPLEXED]
+        assert plateau_makespan(points) == points[-1].makespan_us
+        assert area_to_reach(points, points[-1].makespan_us) is not None
+        assert area_to_reach(points, 0.0) is None
+
+    def test_plateau_empty_rejected(self):
+        with pytest.raises(ValueError):
+            plateau_makespan([])
+
+
+class TestAreaBreakdown:
+    def test_factory_area_dominates(self, qrca8, qcla8):
+        """Headline: ancilla generation takes the majority of the chip."""
+        for ka in (qrca8, qcla8):
+            b = area_breakdown(ka)
+            assert b.ancilla_fraction > 0.5
+
+    def test_fractions_sum_to_one(self, qrca8):
+        b = area_breakdown(qrca8)
+        total = b.data_fraction + b.qec_factory_fraction + b.pi8_factory_fraction
+        assert total == pytest.approx(1.0)
+
+    def test_data_area_is_seven_per_qubit(self, qrca8):
+        b = area_breakdown(qrca8)
+        assert b.data_area == 7 * qrca8.data_qubits
+
+    def test_qec_area_scales_with_bandwidth(self, qrca8, qcla8):
+        slow = area_breakdown(qrca8)
+        fast = area_breakdown(qcla8)
+        assert fast.qec_factory_area > slow.qec_factory_area

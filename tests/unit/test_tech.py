@@ -1,0 +1,72 @@
+"""Unit tests for repro.tech: technology parameter records."""
+
+import pytest
+
+from repro.tech import ERROR_MODEL_PAPER, ION_TRAP, ErrorRates, TechnologyParams
+
+
+class TestErrorRates:
+    def test_paper_defaults(self):
+        rates = ErrorRates()
+        assert rates.gate == 1e-4
+        assert rates.movement == 1e-6
+
+    def test_paper_model_constant(self):
+        assert ERROR_MODEL_PAPER.gate == 1e-4
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            ErrorRates(gate=-0.1)
+
+    def test_rejects_rate_above_one(self):
+        with pytest.raises(ValueError):
+            ErrorRates(movement=1.5)
+
+    def test_zero_rates_allowed(self):
+        rates = ErrorRates(gate=0.0, movement=0.0, measurement=0.0)
+        assert rates.gate == 0.0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ErrorRates().gate = 0.5
+
+
+class TestTechnologyParams:
+    def test_table1_latencies(self):
+        assert ION_TRAP.t_1q == 1.0
+        assert ION_TRAP.t_2q == 10.0
+        assert ION_TRAP.t_meas == 50.0
+        assert ION_TRAP.t_prep == 51.0
+
+    def test_table4_latencies(self):
+        assert ION_TRAP.t_move == 1.0
+        assert ION_TRAP.t_turn == 10.0
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            TechnologyParams(t_2q=-1.0)
+
+    def test_scaled_multiplies_all_latencies(self):
+        fast = ION_TRAP.scaled(0.5)
+        assert fast.t_2q == 5.0
+        assert fast.t_meas == 25.0
+        assert fast.t_move == 0.5
+
+    def test_scaled_keeps_error_rates(self):
+        fast = ION_TRAP.scaled(0.1)
+        assert fast.errors == ION_TRAP.errors
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ION_TRAP.scaled(0.0)
+
+    def test_scaled_names_derivative(self):
+        assert "x2" in ION_TRAP.scaled(2.0).name
+
+    def test_with_errors_swaps_only_errors(self):
+        new = ION_TRAP.with_errors(ErrorRates(gate=1e-3))
+        assert new.errors.gate == 1e-3
+        assert new.t_2q == ION_TRAP.t_2q
+
+    def test_default_is_ion_trap(self):
+        assert TechnologyParams().name == "ion-trap"

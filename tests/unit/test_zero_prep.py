@@ -1,0 +1,83 @@
+"""Unit tests for repro.ancilla.zero_prep circuit constructions."""
+
+from repro.ancilla.zero_prep import (
+    VERIFY_SUPPORT,
+    basic_zero_circuit,
+    correct_only_circuit,
+    verify_and_correct_circuit,
+    verify_only_circuit,
+)
+from repro.circuits.gate import GateType
+from repro.codes.steane import STEANE
+
+import numpy as np
+
+
+class TestVerifySupport:
+    def test_support_is_logical_z_representative(self):
+        rep = np.zeros(7, dtype=np.uint8)
+        rep[list(VERIFY_SUPPORT)] = 1
+        assert not STEANE.z_error_syndrome(rep).any()
+        assert STEANE.is_logical_z(rep)
+
+
+class TestBasic:
+    def test_is_encoder(self):
+        circ = basic_zero_circuit()
+        assert circ.num_qubits == 7
+        assert circ.count(GateType.CX) == 9
+
+
+class TestVerifyOnly:
+    def test_width(self):
+        assert verify_only_circuit().num_qubits == 10
+
+    def test_has_three_measurements(self):
+        circ = verify_only_circuit()
+        assert circ.count(GateType.MEASURE_Z) == 3
+
+    def test_verification_cx_count(self):
+        # 9 encoder + 2 cat chain + 3 parity check.
+        assert verify_only_circuit().count(GateType.CX) == 14
+
+
+class TestCorrectOnly:
+    def test_width_three_blocks(self):
+        assert correct_only_circuit().num_qubits == 21
+
+    def test_three_encoders(self):
+        circ = correct_only_circuit()
+        assert circ.count(GateType.PREP_0) == 21
+        assert circ.count(GateType.H) == 9
+
+    def test_correction_measurements(self):
+        circ = correct_only_circuit()
+        assert circ.count(GateType.MEASURE_Z) == 7
+        assert circ.count(GateType.MEASURE_X) == 7
+
+    def test_conditional_correction_layers_tagged(self):
+        tags = [g.tag for g in correct_only_circuit() if g.tag]
+        assert tags.count("conditional-correction") == 14
+
+
+class TestVerifyAndCorrect:
+    def test_width(self):
+        assert verify_and_correct_circuit().num_qubits == 30
+
+    def test_three_verifications(self):
+        circ = verify_and_correct_circuit()
+        # 9 verification measurements + 7 bit-correct measurements.
+        assert circ.count(GateType.MEASURE_Z) == 9 + 7
+        assert circ.count(GateType.MEASURE_X) == 7
+
+    def test_cx_census(self):
+        circ = verify_and_correct_circuit()
+        # 3 x (9 encoder + 2 cat + 3 check) + 7 bit + 7 phase = 56.
+        assert circ.count(GateType.CX) == 56
+
+    def test_area_ratio_vs_verify_only(self):
+        """Figure 4c uses roughly three times the hardware of 4a
+        ('slightly more than three times the area')."""
+        vc = verify_and_correct_circuit()
+        vo = verify_only_circuit()
+        assert vc.num_qubits == 3 * vo.num_qubits
