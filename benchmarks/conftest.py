@@ -10,6 +10,13 @@ import pytest
 from repro.kernels import analyze_kernel
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf: engine-throughput microbenchmarks (deselect with -m 'not perf')",
+    )
+
+
 @pytest.fixture(scope="session")
 def qrca32():
     return analyze_kernel("qrca", 32)

@@ -1,0 +1,104 @@
+"""Benchmark: dataflow-engine throughput (gates simulated per second).
+
+Tracks the compiled engine's performance trajectory in the BENCH_*.json
+record: single-point simulation rate, full-sweep wall clock, and the
+compiled-vs-seed speedup on the Figure 15 area sweep. The speedup gate
+(>= 5x on a 32-bit kernel) is this PR's acceptance criterion; the legacy
+engine is the seed per-gate loop, kept as the executable baseline.
+
+Marked ``perf`` so the suite can be deselected (``-m "not perf"``) when
+only correctness matters; the workloads themselves are sized to keep
+tier-1 fast.
+"""
+
+import time
+
+import pytest
+
+from repro.arch.provisioning import area_breakdown
+from repro.arch.simulator import DataflowSimulator
+from repro.arch.supply import PI8, ZERO, SteadyRateSupply
+from repro.arch.sweep import area_sweep
+from repro.circuits.compiled import compile_circuit
+
+pytestmark = pytest.mark.perf
+
+#: Matched-demand multiples for the speedup measurement (a Figure 15
+#: slice: 6 areas x 3 architectures = 18 simulations per engine).
+_AREA_FACTORS = (0.25, 1, 4, 16, 64, 256)
+
+
+def _best_of(fn, rounds=3):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_bench_single_point_gates_per_second(benchmark, qcla32):
+    """Simulation rate of one steady-rate sweep point, compiled engine."""
+    compiled = compile_circuit(qcla32.circuit, qcla32.tech)
+    rates = {
+        ZERO: qcla32.zero_bandwidth_per_ms,
+        PI8: qcla32.pi8_bandwidth_per_ms,
+    }
+
+    def run_point():
+        supply = SteadyRateSupply(dict(rates))
+        return DataflowSimulator(
+            qcla32.circuit, qcla32.tech, supply=supply, compiled=compiled
+        ).run()
+
+    def run_point_legacy():
+        supply = SteadyRateSupply(dict(rates))
+        return DataflowSimulator(
+            qcla32.circuit, qcla32.tech, supply=supply
+        ).run_legacy()
+
+    result = benchmark.pedantic(run_point, rounds=5, iterations=1)
+    assert result.gates == len(qcla32.circuit)
+    elapsed, _ = _best_of(run_point)
+    legacy_elapsed, _ = _best_of(run_point_legacy)
+    gates_per_second = result.gates / elapsed
+    benchmark.extra_info["gates_per_second"] = gates_per_second
+    benchmark.extra_info["seed_gates_per_second"] = result.gates / legacy_elapsed
+    print()
+    print(f"  compiled engine: {gates_per_second:,.0f} gates/s "
+          f"({result.gates} gates in {elapsed * 1e3:.2f} ms; "
+          f"seed loop {legacy_elapsed * 1e3:.2f} ms)")
+    # Relative, so machine speed and load cancel out: the compiled engine
+    # measures ~10x here and must stay clearly ahead of the seed loop.
+    assert elapsed * 3 < legacy_elapsed
+
+
+def test_bench_area_sweep_speedup_vs_seed(benchmark, qcla32):
+    """Acceptance gate: >= 5x on a 32-bit area sweep vs the seed loop."""
+    matched = area_breakdown(qcla32).factory_area
+    areas = [matched * factor for factor in _AREA_FACTORS]
+
+    def run(engine):
+        return area_sweep(qcla32, areas=areas, engine=engine)
+
+    compiled_curves = benchmark.pedantic(
+        lambda: run("compiled"), rounds=1, iterations=1
+    )
+    legacy_elapsed, legacy_curves = _best_of(lambda: run("legacy"))
+    compiled_elapsed, _ = _best_of(lambda: run("compiled"))
+    assert compiled_curves == legacy_curves
+    speedup = legacy_elapsed / compiled_elapsed
+    benchmark.extra_info["seed_sweep_ms"] = legacy_elapsed * 1e3
+    benchmark.extra_info["compiled_sweep_ms"] = compiled_elapsed * 1e3
+    benchmark.extra_info["speedup_vs_seed"] = speedup
+    print()
+    print(f"  area sweep (18 points): seed {legacy_elapsed * 1e3:.1f} ms, "
+          f"compiled {compiled_elapsed * 1e3:.1f} ms -> {speedup:.1f}x")
+    assert speedup >= 5.0
+
+
+def test_bench_full_default_area_sweep(benchmark, qft32):
+    """Wall clock of the full default Figure 15 sweep, largest kernel."""
+    curves = benchmark.pedantic(lambda: area_sweep(qft32), rounds=1, iterations=1)
+    assert all(len(points) == 14 for points in curves.values())

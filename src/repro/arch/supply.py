@@ -13,7 +13,7 @@ QEC) and "pi8" (encoded pi/8 ancillae for non-transversal gates).
 
 from __future__ import annotations
 
-from typing import Dict, Protocol
+from typing import Dict, List, Optional, Protocol
 
 ZERO = "zero"
 PI8 = "pi8"
@@ -63,6 +63,14 @@ class _RateCounter:
 class SteadyRateSupply:
     """One global production rate per ancilla kind (Figure 8's model).
 
+    Because consumption is FIFO from a constant rate, availability has a
+    closed form: the k-th ancilla of a kind exists at ``k / rate``. The
+    accessors below expose the counters so the compiled dataflow engine
+    can evaluate that closed form for a whole circuit at once instead of
+    calling :meth:`acquire` per gate; :meth:`advance` lets it commit the
+    aggregate consumption afterwards so supply state stays identical to a
+    gate-by-gate run.
+
     Args:
         rates_per_ms: Production rate per kind in ancillae per millisecond.
     """
@@ -77,6 +85,31 @@ class SteadyRateSupply:
         if counter is None:
             return earliest
         return counter.acquire(count, earliest)
+
+    def rate_per_us(self, kind: str) -> Optional[float]:
+        """Production rate of ``kind`` in ancillae per microsecond.
+
+        Returns None when this supply does not track the kind at all
+        (in which case :meth:`acquire` never constrains it).
+        """
+        counter = self._counters.get(kind)
+        return counter.rate if counter is not None else None
+
+    def consumed_so_far(self, kind: str) -> int:
+        """Ancillae of ``kind`` consumed from this supply to date."""
+        counter = self._counters.get(kind)
+        return counter.consumed if counter is not None else 0
+
+    def advance(self, kind: str, count: int) -> None:
+        """Record ``count`` ancillae as consumed without a time query.
+
+        Mirrors :meth:`acquire`'s bookkeeping (a zero-rate counter never
+        advances — acquire returns infinity before incrementing), so a
+        closed-form run leaves the same observable state as a per-gate one.
+        """
+        counter = self._counters.get(kind)
+        if counter is not None and counter.rate != 0 and count > 0:
+            counter.consumed += count
 
 
 class PooledSupply(SteadyRateSupply):
@@ -113,3 +146,11 @@ class DedicatedSupply:
         if counters is None:
             return earliest
         return counters[qubit].acquire(count, earliest)
+
+    def counters(self, kind: str) -> Optional[List[_RateCounter]]:
+        """Per-qubit counters for ``kind`` (None when the kind is untracked).
+
+        Exposed so the compiled dataflow engine can inline the counter
+        arithmetic instead of dispatching through :meth:`acquire` per gate.
+        """
+        return self._counters.get(kind)

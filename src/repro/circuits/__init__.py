@@ -15,11 +15,13 @@ Circuits are used at two levels:
 """
 
 from repro.circuits.circuit import Circuit, CircuitError
+from repro.circuits.compiled import CompiledCircuit, compile_circuit
 from repro.circuits.dag import CircuitDag, ScheduleEntry, asap_schedule, critical_path
 from repro.circuits.gate import (
     CLIFFORD_GATES,
     GATE_ARITY,
     NON_TRANSVERSAL_GATES,
+    PI8_CONSUMING_GATES,
     TRANSVERSAL_GATES,
     TWO_QUBIT_GATES,
     Gate,
@@ -37,6 +39,7 @@ __all__ = [
     "Circuit",
     "CircuitDag",
     "CircuitError",
+    "CompiledCircuit",
     "GATE_ARITY",
     "Gate",
     "GateKind",
@@ -44,10 +47,12 @@ __all__ = [
     "LatencyModel",
     "LogicalLatencyModel",
     "NON_TRANSVERSAL_GATES",
+    "PI8_CONSUMING_GATES",
     "PhysicalLatencyModel",
     "ScheduleEntry",
     "TRANSVERSAL_GATES",
     "TWO_QUBIT_GATES",
     "asap_schedule",
+    "compile_circuit",
     "critical_path",
 ]

@@ -1,0 +1,204 @@
+"""Compiled circuits: a struct-of-arrays lowering of :class:`Circuit`.
+
+The dataflow simulator's hot loop visits every gate of a decomposed
+kernel once per sweep point. Walking :class:`~repro.circuits.gate.Gate`
+objects costs a dict lookup, several property evaluations and a latency
+method call per gate; across a Figure 15 sweep (dozens of points, three
+architectures) that object traffic dominates wall-clock. Compilation
+pays those costs exactly once per ``(circuit, tech)`` pair:
+
+* gate types are interned to small integers (enum-definition order);
+* operand qubits are flattened into parallel index lists with ``-1``
+  sentinels for absent operands (arity is at most 3);
+* per-gate logical latencies are precomputed from
+  :class:`~repro.circuits.latency.LogicalLatencyModel`;
+* classical condition/result bit names are interned to integer ids;
+* movement class (none / one-qubit / two-qubit) and pi/8-consumption
+  flags are precomputed, along with the aggregate counts the simulator
+  needs for closed-form ancilla and teleport accounting.
+
+The compiled form is immutable and safe to share between simulators,
+sweep points and worker processes. :func:`compile_circuit` memoizes per
+circuit object (keyed by gate count and technology, since circuits are
+append-only by convention), so repeated sweeps over the same kernel
+compile exactly once.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gate import PI8_CONSUMING_GATES, GateType
+from repro.circuits.latency import LogicalLatencyModel
+from repro.tech import TechnologyParams
+
+#: Gate-type interning table: enum-definition order. No simulator path
+#: consumes the codes yet — they exist for the further compile-to-arrays
+#: work ROADMAP.md plans (schedule/critical-path lowering), which needs
+#: the gate identity without the Gate object.
+GATE_CODES: Dict[GateType, int] = {t: i for i, t in enumerate(GateType)}
+
+#: Movement classes (see ``move_kind``).
+MOVE_NONE = 0  # preparation / measurement: runs in place
+MOVE_ONE_QUBIT = 1
+MOVE_TWO_QUBIT = 2
+
+
+@dataclass(frozen=True, eq=False)
+class CompiledCircuit:
+    """Struct-of-arrays form of one circuit under one technology.
+
+    All per-gate sequences are parallel (index ``i`` describes gate ``i``
+    of the source circuit, in program order). Plain Python lists are used
+    for the fields the sequential simulator loop indexes — scalar list
+    access is several times faster than scalar numpy access — while the
+    fields consumed by vectorized supply math are numpy arrays.
+
+    Attributes:
+        num_qubits: Qubit count of the source circuit.
+        num_gates: Gate count of the source circuit.
+        tech: Technology the latencies were priced under.
+        gate_codes: Int-coded gate types (:data:`GATE_CODES`).
+        q0: First operand qubit of each gate.
+        q1: Second operand qubit, or ``-1``.
+        q2: Third operand qubit (Toffoli macro), or ``-1``.
+        latency_us: Logical gate latency of each gate.
+        move_kind: Movement class of each gate (``MOVE_*``).
+        cond_id: Interned condition-bit id, or ``-1``.
+        result_id: Interned result-bit id, or ``-1``.
+        bit_names: Interned classical bit names, id order.
+        pi8_flag: 1 for gates consuming an encoded pi/8 ancilla.
+        pi8_indices: Gate indices of the pi/8 consumers, program order.
+        pi8_count: Number of pi/8-consuming gates.
+        one_qubit_moves: Gates in movement class ``MOVE_ONE_QUBIT``.
+        two_qubit_moves: Gates in movement class ``MOVE_TWO_QUBIT``.
+        source_ref: Weak reference to the source circuit, so consumers
+            can reject a compiled form handed to the wrong circuit (two
+            different circuits can share a gate count). Weak because the
+            compilation cache must not keep its own keys alive.
+    """
+
+    num_qubits: int
+    num_gates: int
+    tech: TechnologyParams
+    gate_codes: Tuple[int, ...]
+    q0: List[int]
+    q1: List[int]
+    q2: List[int]
+    latency_us: List[float]
+    move_kind: List[int]
+    cond_id: List[int]
+    result_id: List[int]
+    bit_names: Tuple[str, ...]
+    pi8_flag: List[int]
+    pi8_indices: np.ndarray
+    pi8_count: int
+    one_qubit_moves: int
+    two_qubit_moves: int
+    source_ref: "weakref.ref[Circuit]"
+
+    @property
+    def num_bits(self) -> int:
+        return len(self.bit_names)
+
+    def compiled_from(self, circuit: Circuit) -> bool:
+        """Whether this form was compiled from ``circuit``.
+
+        False when the source weak reference has died: simulating needs
+        the source circuit in hand, which keeps the reference alive, so
+        a dead reference means ``circuit`` is necessarily some other
+        object — shape checks alone could not tell it apart.
+        """
+        return self.source_ref() is circuit
+
+
+def _compile(circuit: Circuit, tech: TechnologyParams) -> CompiledCircuit:
+    logical = LogicalLatencyModel(tech)
+    q0: List[int] = []
+    q1: List[int] = []
+    q2: List[int] = []
+    codes: List[int] = []
+    latency: List[float] = []
+    move_kind: List[int] = []
+    cond_id: List[int] = []
+    result_id: List[int] = []
+    pi8_flag: List[int] = []
+    pi8_indices: List[int] = []
+    bit_ids: Dict[str, int] = {}
+    for i, gate in enumerate(circuit):
+        qubits = gate.qubits
+        q0.append(qubits[0])
+        q1.append(qubits[1] if len(qubits) > 1 else -1)
+        q2.append(qubits[2] if len(qubits) > 2 else -1)
+        codes.append(GATE_CODES[gate.gate_type])
+        latency.append(logical.gate_latency(gate))
+        if gate.is_prep or gate.is_measurement:
+            move_kind.append(MOVE_NONE)
+        elif gate.is_two_qubit:
+            move_kind.append(MOVE_TWO_QUBIT)
+        else:
+            move_kind.append(MOVE_ONE_QUBIT)
+        for name, ids in ((gate.condition, cond_id), (gate.result, result_id)):
+            if name is None:
+                ids.append(-1)
+            else:
+                if name not in bit_ids:
+                    bit_ids[name] = len(bit_ids)
+                ids.append(bit_ids[name])
+        flag = 1 if gate.gate_type in PI8_CONSUMING_GATES else 0
+        pi8_flag.append(flag)
+        if flag:
+            pi8_indices.append(i)
+    return CompiledCircuit(
+        num_qubits=circuit.num_qubits,
+        num_gates=len(circuit),
+        tech=tech,
+        gate_codes=tuple(codes),
+        q0=q0,
+        q1=q1,
+        q2=q2,
+        latency_us=latency,
+        move_kind=move_kind,
+        cond_id=cond_id,
+        result_id=result_id,
+        bit_names=tuple(bit_ids),
+        pi8_flag=pi8_flag,
+        pi8_indices=np.array(pi8_indices, dtype=np.intp),
+        pi8_count=len(pi8_indices),
+        one_qubit_moves=move_kind.count(MOVE_ONE_QUBIT),
+        two_qubit_moves=move_kind.count(MOVE_TWO_QUBIT),
+        source_ref=weakref.ref(circuit),
+    )
+
+
+_CACHE: "weakref.WeakKeyDictionary[Circuit, Dict[tuple, CompiledCircuit]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def compile_circuit(circuit: Circuit, tech: TechnologyParams) -> CompiledCircuit:
+    """Lower ``circuit`` to array form, memoized per ``(circuit, tech)``.
+
+    The cache is keyed on the circuit object plus its current gate count:
+    circuits are append-only by convention, so a changed length is the
+    only mutation that can invalidate a previous compilation. Entries die
+    with their circuit (weak keys), so sweeping many kernels does not
+    accumulate garbage.
+    """
+    per_circuit = _CACHE.get(circuit)
+    key = (len(circuit), tech)
+    if per_circuit is not None:
+        cached = per_circuit.get(key)
+        if cached is not None:
+            return cached
+    compiled = _compile(circuit, tech)
+    if per_circuit is None:
+        per_circuit = {}
+        _CACHE[circuit] = per_circuit
+    per_circuit[key] = compiled
+    return compiled

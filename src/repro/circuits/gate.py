@@ -103,6 +103,11 @@ NON_TRANSVERSAL_GATES = frozenset(
     {GateType.T, GateType.T_DAG, GateType.RZ, GateType.CRZ, GateType.CS, GateType.CCX}
 )
 
+#: Gates consuming one encoded pi/8 ancilla when executed encoded
+#: (Figure 5a). Shared by the kernel analysis and both dataflow engines,
+#: which must agree on it exactly.
+PI8_CONSUMING_GATES = frozenset({GateType.T, GateType.T_DAG})
+
 #: Gates in the Clifford group (stabilizer-preserving), for Pauli propagation.
 CLIFFORD_GATES = frozenset(
     {

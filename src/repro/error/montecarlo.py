@@ -15,9 +15,10 @@ grade the surviving output block.
 from __future__ import annotations
 
 import math
+import weakref
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -34,6 +35,41 @@ _TWO_QUBIT_PAULIS = tuple(
     for b in ("I", "X", "Y", "Z")
     if not (a == "I" and b == "I")
 )
+
+
+_REMAP_CACHE: "weakref.WeakKeyDictionary[Circuit, Dict[tuple, Tuple[Gate, ...]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _mapped_gates(circuit: Circuit, qubit_map: Dict[int, int]) -> Tuple[Gate, ...]:
+    """The circuit's gates with qubits remapped, memoized per (circuit, map).
+
+    Protocols run the same sub-circuit at the same register offset for
+    every Monte Carlo trial; rebuilding a mapped ``Gate`` per gate per
+    trial dominated injection cost. The cache key includes the gate count
+    (circuits are append-only by convention) and the map items; entries
+    die with their circuit.
+    """
+    key = (len(circuit), tuple(sorted(qubit_map.items())))
+    per_circuit = _REMAP_CACHE.get(circuit)
+    if per_circuit is None:
+        per_circuit = {}
+        _REMAP_CACHE[circuit] = per_circuit
+    gates = per_circuit.get(key)
+    if gates is None:
+        gates = tuple(
+            Gate(
+                gate.gate_type,
+                tuple(qubit_map.get(q, q) for q in gate.qubits),
+                angle_k=gate.angle_k,
+                condition=gate.condition,
+                result=gate.result,
+            )
+            for gate in circuit
+        )
+        per_circuit[key] = gates
+    return gates
 
 
 class TrialOutcome(Enum):
@@ -181,20 +217,12 @@ class MonteCarloSimulator:
                 when no explicit schedule is attached).
         """
         qm = qubit_map or {}
+        # The mapped gate list is a pure function of (circuit, map) —
+        # built once and replayed for every trial, not per gate per trial.
+        gates = circuit if not qm else _mapped_gates(circuit, qm)
         flips: Dict[str, int] = {}
-        for gate in circuit:
-            mapped = (
-                gate
-                if not qm
-                else Gate(
-                    gate.gate_type,
-                    tuple(qm.get(q, q) for q in gate.qubits),
-                    angle_k=gate.angle_k,
-                    condition=gate.condition,
-                    result=gate.result,
-                )
-            )
-            if gate.condition is not None and not flips.get(gate.condition, 0):
+        for mapped in gates:
+            if mapped.condition is not None and not flips.get(mapped.condition, 0):
                 continue
             if moves_per_qubit_per_gate:
                 for q in mapped.qubits:
@@ -206,7 +234,7 @@ class MonteCarloSimulator:
                 flipped = measurement_flipped(frame, mapped)
                 if self.rng.random() < self.errors.measurement:
                     flipped = not flipped
-                flips[gate.result] = int(flipped)
+                flips[mapped.result] = int(flipped)
                 # Measurement collapses the qubit; its frame is consumed.
                 frame.clear(mapped.qubits[0])
             else:

@@ -1,0 +1,216 @@
+"""Equivalence tests: compiled dataflow engine vs the legacy per-gate loop.
+
+The compiled engine must be *bit-identical* to the reference loop — every
+``SimulationResult`` field compared with exact equality (no approx), for
+all three kernels under all five supply/architecture models. The fixtures
+run the 8-bit kernels; engine dispatch does not depend on width.
+"""
+
+import pytest
+
+from repro.arch.architectures import (
+    CqlaConfig,
+    MultiplexedConfig,
+    QlaConfig,
+)
+from repro.arch.simulator import DataflowSimulator
+from repro.arch.supply import PI8, ZERO, SteadyRateSupply
+from repro.circuits import Circuit, CompiledCircuit, compile_circuit
+from repro.kernels import analyze_kernel
+from repro.tech import ION_TRAP
+
+KERNELS = ("qrca", "qcla", "qft")
+SUPPLY_MODES = ("infinite", "steady-rate", "qla", "cqla", "multiplexed")
+
+_FACTORY_AREA = 500.0
+
+
+def _build_simulator(analysis, mode):
+    """A fresh simulator (fresh supply state) for one supply mode."""
+    circuit, tech = analysis.circuit, analysis.tech
+    zero_bw = analysis.zero_bandwidth_per_ms
+    pi8_bw = analysis.pi8_bandwidth_per_ms
+    nq = circuit.num_qubits
+    if mode == "infinite":
+        return DataflowSimulator(circuit, tech)
+    if mode == "steady-rate":
+        # Half the matched demand, so gates actually wait on the supply.
+        supply = SteadyRateSupply({ZERO: zero_bw / 2.0, PI8: pi8_bw / 2.0})
+        return DataflowSimulator(circuit, tech, supply=supply)
+    if mode == "qla":
+        config = QlaConfig()
+    elif mode == "cqla":
+        config = CqlaConfig()
+    elif mode == "multiplexed":
+        config = MultiplexedConfig()
+    else:
+        raise ValueError(mode)
+    supply = config.build_supply(_FACTORY_AREA, nq, zero_bw, pi8_bw, tech)
+    return DataflowSimulator(
+        circuit,
+        tech,
+        supply=supply,
+        movement_penalty_us=config.movement_penalty(False, tech),
+        two_qubit_movement_penalty_us=config.movement_penalty(True, tech),
+        cqla=config if mode == "cqla" else None,
+    )
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("mode", SUPPLY_MODES)
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_identical_results_across_kernels_and_supplies(self, kernel, mode):
+        analysis = analyze_kernel(kernel, 8)
+        legacy = _build_simulator(analysis, mode).run_legacy()
+        compiled = _build_simulator(analysis, mode).run()
+        # Dataclass equality covers makespan, gate count, both ancilla
+        # counts, cache misses and teleports — all exactly.
+        assert compiled == legacy
+
+    def test_steady_supply_state_matches_after_run(self, qrca8):
+        def fresh():
+            return SteadyRateSupply(
+                {ZERO: qrca8.zero_bandwidth_per_ms, PI8: qrca8.pi8_bandwidth_per_ms}
+            )
+
+        legacy_supply, compiled_supply = fresh(), fresh()
+        DataflowSimulator(
+            qrca8.circuit, qrca8.tech, supply=legacy_supply
+        ).run_legacy()
+        DataflowSimulator(
+            qrca8.circuit, qrca8.tech, supply=compiled_supply
+        ).run()
+        for kind in (ZERO, PI8):
+            assert compiled_supply.consumed_so_far(kind) == (
+                legacy_supply.consumed_so_far(kind)
+            )
+
+    def test_zero_rate_supply_starves_both_engines(self):
+        circuit = Circuit(1).h(0)
+        starved = SteadyRateSupply({ZERO: 0.0})
+        legacy = DataflowSimulator(
+            circuit, supply=SteadyRateSupply({ZERO: 0.0})
+        ).run_legacy()
+        compiled = DataflowSimulator(circuit, supply=starved).run()
+        assert legacy.makespan_us == float("inf")
+        assert compiled == legacy
+
+    def test_conditional_toffoli_circuit(self):
+        """Exercises arity-3 gates, measurements and condition bits."""
+        circuit = (
+            Circuit(4)
+            .ccx(0, 1, 2)
+            .measure_z(2, "m0")
+            .x(3, condition="m0")
+            .t(3)
+            .measure_x(3, "m1")
+            .z(0, condition="m1")
+        )
+        legacy = DataflowSimulator(circuit).run_legacy()
+        compiled = DataflowSimulator(circuit).run()
+        assert compiled == legacy
+
+    def test_custom_supply_protocol_falls_back_to_per_gate_queries(self):
+        class EveryOtherMillisecond:
+            """Ancillae materialize on 1 ms boundaries."""
+
+            def acquire(self, kind, qubit, count, earliest):
+                import math
+
+                return math.ceil(earliest / 1000.0) * 1000.0
+
+        circuit = Circuit(2).h(0).cx(0, 1).t(1)
+        legacy = DataflowSimulator(
+            circuit, supply=EveryOtherMillisecond()
+        ).run_legacy()
+        compiled = DataflowSimulator(circuit, supply=EveryOtherMillisecond()).run()
+        assert compiled == legacy
+
+    def test_instance_level_acquire_override_honored(self):
+        """A monkeypatched acquire must reach the compiled engine too."""
+
+        def delayed(kind, qubit, count, earliest):
+            return earliest + 100.0
+
+        circuit = Circuit(2).h(0).cx(0, 1).t(1)
+
+        def patched():
+            from repro.arch.supply import InfiniteSupply
+
+            supply = InfiniteSupply()
+            supply.acquire = delayed
+            return supply
+
+        legacy = DataflowSimulator(circuit, supply=patched()).run_legacy()
+        compiled = DataflowSimulator(circuit, supply=patched()).run()
+        assert compiled == legacy
+        # And the delay really was applied (not the infinite fast path).
+        assert compiled.makespan_us > DataflowSimulator(circuit).run().makespan_us
+
+    def test_empty_circuit(self):
+        result = DataflowSimulator(Circuit(3)).run()
+        assert result == DataflowSimulator(Circuit(3)).run_legacy()
+        assert result.makespan_us == 0.0
+
+
+class TestCompilation:
+    def test_compile_is_memoized_per_circuit_and_tech(self):
+        circuit = Circuit(2).h(0).cx(0, 1)
+        assert compile_circuit(circuit, ION_TRAP) is compile_circuit(
+            circuit, ION_TRAP
+        )
+
+    def test_append_invalidates_cached_compilation(self):
+        circuit = Circuit(2).h(0)
+        first = compile_circuit(circuit, ION_TRAP)
+        circuit.cx(0, 1)
+        second = compile_circuit(circuit, ION_TRAP)
+        assert second is not first
+        assert second.num_gates == 2
+
+    def test_compiled_form_contents(self):
+        circuit = Circuit(3).t(0).ccx(0, 1, 2).measure_z(1, "m").x(2, condition="m")
+        compiled = compile_circuit(circuit, ION_TRAP)
+        assert isinstance(compiled, CompiledCircuit)
+        assert compiled.num_gates == 4
+        assert compiled.q0 == [0, 0, 1, 2]
+        assert compiled.q1 == [-1, 1, -1, -1]
+        assert compiled.q2 == [-1, 2, -1, -1]
+        assert compiled.pi8_flag == [1, 0, 0, 0]
+        assert compiled.pi8_count == 1
+        assert compiled.bit_names == ("m",)
+        assert compiled.result_id == [-1, -1, 0, -1]
+        assert compiled.cond_id == [-1, -1, -1, 0]
+        # prep/measure gates are movement-exempt; CCX (arity 3) takes the
+        # one-qubit movement penalty, mirroring the reference loop's
+        # ``is_two_qubit`` dispatch.
+        assert compiled.one_qubit_moves == 3  # T, CCX, conditional X
+        assert compiled.two_qubit_moves == 0
+
+    def test_mismatched_compiled_circuit_rejected(self):
+        circuit = Circuit(2).h(0).cx(0, 1)
+        other = compile_circuit(Circuit(2).h(0), ION_TRAP)
+        with pytest.raises(ValueError):
+            DataflowSimulator(circuit, compiled=other)
+
+    def test_same_shape_different_circuit_rejected(self):
+        """Equal gate/qubit counts are not enough: identity is checked."""
+        circuit = Circuit(2).h(0).cx(0, 1)
+        twin = Circuit(2).h(0).cx(0, 1)
+        with pytest.raises(ValueError):
+            DataflowSimulator(circuit, compiled=compile_circuit(twin, ION_TRAP))
+
+    def test_orphaned_compiled_circuit_rejected(self):
+        """A compiled form whose source was collected is never accepted."""
+        import gc
+
+        compiled = compile_circuit(Circuit(2).h(0).cx(0, 1), ION_TRAP)
+        gc.collect()
+        with pytest.raises(ValueError):
+            DataflowSimulator(Circuit(2).h(0).cx(0, 1), compiled=compiled)
+
+    def test_prebuilt_compiled_circuit_reused(self, qrca8):
+        compiled = qrca8.compiled_circuit()
+        sim = DataflowSimulator(qrca8.circuit, qrca8.tech, compiled=compiled)
+        assert sim.compiled is compiled
+        assert sim.run() == DataflowSimulator(qrca8.circuit, qrca8.tech).run_legacy()

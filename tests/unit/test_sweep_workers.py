@@ -1,0 +1,68 @@
+"""Sweep-level reuse and parallel-execution tests.
+
+Simulation is deterministic, so ``workers=N`` must reproduce the serial
+sweep exactly (same points, same order, same floats), and the legacy
+engine must agree with the compiled one at the sweep level too.
+"""
+
+import pytest
+
+from repro.arch import ArchitectureKind
+from repro.arch.sweep import area_sweep, throughput_sweep
+from repro.circuits.compiled import compile_circuit
+
+AREAS = (100.0, 400.0, 1600.0)
+RATES = (5.0, 50.0, 500.0, 5000.0)
+
+
+class TestThroughputSweep:
+    def test_workers_identical_to_serial(self, qrca8):
+        serial = throughput_sweep(qrca8, RATES)
+        parallel = throughput_sweep(qrca8, RATES, workers=2)
+        assert parallel == serial
+
+    def test_legacy_engine_identical(self, qrca8):
+        assert throughput_sweep(qrca8, RATES) == throughput_sweep(
+            qrca8, RATES, engine="legacy"
+        )
+
+    def test_prebuilt_compiled_circuit_accepted(self, qrca8):
+        compiled = compile_circuit(qrca8.circuit, qrca8.tech)
+        assert throughput_sweep(qrca8, RATES, compiled=compiled) == (
+            throughput_sweep(qrca8, RATES)
+        )
+
+    def test_unknown_engine_rejected(self, qrca8):
+        with pytest.raises(ValueError, match="engine"):
+            throughput_sweep(qrca8, RATES, engine="vectorized")
+
+
+class TestAreaSweep:
+    def test_workers_identical_to_serial(self, qcla8):
+        serial = area_sweep(qcla8, areas=AREAS)
+        parallel = area_sweep(qcla8, areas=AREAS, workers=3)
+        assert parallel == serial
+
+    def test_workers_exceeding_points_identical(self, qrca8):
+        areas = AREAS[:1]
+        kinds = (ArchitectureKind.QLA,)
+        serial = area_sweep(qrca8, areas=areas, kinds=kinds)
+        parallel = area_sweep(qrca8, areas=areas, kinds=kinds, workers=8)
+        assert parallel == serial
+
+    def test_legacy_engine_identical(self, qcla8):
+        assert area_sweep(qcla8, areas=AREAS) == area_sweep(
+            qcla8, areas=AREAS, engine="legacy"
+        )
+
+    def test_prebuilt_compiled_circuit_accepted(self, qcla8):
+        compiled = qcla8.compiled_circuit()
+        assert area_sweep(qcla8, areas=AREAS, compiled=compiled) == (
+            area_sweep(qcla8, areas=AREAS)
+        )
+
+    def test_curve_structure_preserved(self, qrca8):
+        curves = area_sweep(qrca8, areas=AREAS, workers=2)
+        assert set(curves) == set(ArchitectureKind)
+        for points in curves.values():
+            assert [p.x for p in points] == list(AREAS)
