@@ -1,0 +1,74 @@
+"""Design-space exploration benchmark: the Qalypso pick, rediscovered.
+
+The paper's Figures 15-16 argument is a design-space search: across
+architecture organizations and factory-area budgets, the fully
+multiplexed (Qalypso) organization minimizes ADCR. This benchmark
+re-runs that search through `repro.explore` for the 32-bit QCLA and
+asserts the shape targets:
+
+* the ADCR-optimal point is the fully-multiplexed organization;
+* every architecture's winner beats its own area extremes (the ADCR
+  curve is U-ish: starved and over-provisioned chips both lose);
+* the adaptive strategy matches or beats the grid optimum at half the
+  evaluation budget.
+"""
+
+from repro.explore import (
+    AdaptiveStrategy,
+    AdcrObjective,
+    Evaluator,
+    GridStrategy,
+    architecture_space,
+    explore,
+    format_exploration,
+)
+
+
+def run_grid(analysis):
+    space = architecture_space(analysis)
+    return space, explore(
+        space,
+        AdcrObjective(),
+        GridStrategy(space),
+        evaluator=Evaluator(analysis=analysis),
+        budget=space.grid_size(),
+    )
+
+
+class TestQalypsoPick:
+    def test_adcr_optimum_is_fully_multiplexed(self, qcla32):
+        space, result = run_grid(qcla32)
+        assert result.evaluated == space.grid_size()
+        assert result.best.point_dict["arch"] == "multiplexed"
+        print()
+        print(format_exploration(result))
+
+    def test_per_arch_winners_are_interior(self, qcla32):
+        space, result = run_grid(qcla32)
+        areas = space.dimension("factory_area").values
+        for arch, (evaluation, score) in result.best_per("arch").items():
+            scores = {
+                dict(e.point)["factory_area"]: s
+                for e, s in zip(result.evaluations, result.scores)
+                if dict(e.point)["arch"] == arch
+            }
+            assert score <= scores[areas[0]]
+            assert score <= scores[areas[-1]]
+
+    def test_adaptive_matches_grid_at_half_budget(self, qcla32):
+        space, grid = run_grid(qcla32)
+        adaptive = explore(
+            space,
+            AdcrObjective(),
+            AdaptiveStrategy(space, seed=0),
+            evaluator=Evaluator(analysis=qcla32),
+            budget=space.grid_size() // 2,
+        )
+        assert adaptive.evaluated <= space.grid_size() // 2
+        assert adaptive.best_score <= grid.best_score
+        print()
+        print(
+            f"grid {grid.evaluated} evals -> ADCR {grid.best_score:.4g}; "
+            f"adaptive {adaptive.evaluated} evals -> "
+            f"ADCR {adaptive.best_score:.4g}"
+        )

@@ -13,6 +13,13 @@ Walks the paper's core argument end to end on the ripple-carry adder:
 Run:  python examples/adder_at_speed_of_data.py
 """
 
+import os
+
+# Smoke-test hook: REPRO_SMOKE=1 shrinks problem sizes so the test suite
+# can run every example in-process in seconds.
+SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
+WIDTH = 8 if SMOKE else 32
+
 from repro import analyze_kernel, area_breakdown, throughput_sweep
 from repro.kernels.classical import run_adder
 from repro.kernels.qrca import qrca_circuit, qrca_registers
@@ -20,12 +27,12 @@ from repro.reporting.figures import ascii_plot
 
 
 def main() -> None:
-    width = 32
+    width = WIDTH
 
     # 1. The circuit really adds.
     regs = qrca_registers(width)
     circuit = qrca_circuit(width)
-    a, b = 3141592653, 2718281828
+    a, b = 3141592653 % 2**width, 2718281828 % 2**width
     out = run_adder(circuit, regs.a, regs.b, regs.b + [regs.b_high], a, b, regs.c)
     assert out["sum"] == a + b
     print(f"QRCA-{width}: {a} + {b} = {out['sum']}  "

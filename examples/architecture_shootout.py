@@ -7,13 +7,20 @@ tile runs the kernel more than five times faster.
 Run:  python examples/architecture_shootout.py
 """
 
+import os
+
+# Smoke-test hook: REPRO_SMOKE=1 shrinks problem sizes so the test suite
+# can run every example in-process in seconds.
+SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
+WIDTH = 8 if SMOKE else 32
+
 from repro import ArchitectureKind, analyze_kernel, area_breakdown, area_sweep
 from repro.arch.qalypso import compare_with_cqla, tile_for_kernel
 from repro.reporting.figures import ascii_plot
 
 
 def main() -> None:
-    kernel = analyze_kernel("qcla", 32)
+    kernel = analyze_kernel("qcla", WIDTH)
     matched = area_breakdown(kernel).factory_area
     print(f"{kernel.name}: matched-demand factory area = {matched:.0f} macroblocks\n")
 

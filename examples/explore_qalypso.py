@@ -1,0 +1,93 @@
+"""Rediscovering Qalypso: ADCR-driven design-space exploration.
+
+The paper's proposed microarchitecture is not a guess — it is the
+optimum of a design-space search over architecture organization and
+factory provisioning (Figures 15-16). This walkthrough re-runs that
+search with the `repro.explore` subsystem:
+
+1. declare the Figure 15 design space (architecture kind x factory-area
+   budget) for the 32-bit carry-lookahead adder;
+2. exhaustively grid-search it for the ADCR-optimal point — the paper's
+   pick: the fully-multiplexed (Qalypso) organization;
+3. re-run the same search to show the disk-backed result store making it
+   free (zero new simulations);
+4. hand the *remaining* half-budget to the adaptive strategy, which
+   refines between the grid lines and matches or beats the grid optimum;
+5. print the area-delay Pareto front — the menu of defensible designs.
+
+Run:  python examples/explore_qalypso.py
+"""
+
+import os
+
+# Smoke-test hook: REPRO_SMOKE=1 shrinks problem sizes so the test suite
+# can run every example in-process in seconds.
+SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
+WIDTH = 8 if SMOKE else 32
+
+from repro.explore import (
+    AdaptiveStrategy,
+    AdcrObjective,
+    Evaluator,
+    GridStrategy,
+    ResultStore,
+    architecture_space,
+    explore,
+    format_exploration,
+)
+from repro.kernels import analyze_kernel
+
+
+def main() -> None:
+    kernel, width = "qcla", WIDTH
+    analysis = analyze_kernel(kernel, width)
+    space = architecture_space(analysis)
+    store = ResultStore()  # .repro_cache/ in the working directory
+    objective = AdcrObjective()
+
+    # 1-2. Exhaustive grid search of the Figure 15 lattice.
+    evaluator = Evaluator(kernel=kernel, width=width, store=store)
+    grid = explore(
+        space,
+        objective,
+        GridStrategy(space),
+        evaluator=evaluator,
+        budget=space.grid_size(),
+    )
+    print(format_exploration(grid))
+    print()
+
+    # 3. Warm re-run: the result store answers everything from disk.
+    rerun = explore(
+        space,
+        objective,
+        GridStrategy(space),
+        evaluator=Evaluator(kernel=kernel, width=width, store=store),
+        budget=space.grid_size(),
+    )
+    print(f"Warm re-run: {rerun.simulations_run} new simulations, "
+          f"{rerun.cache_hits} evaluations served from .repro_cache/")
+    print()
+
+    # 4. Adaptive refinement at half the grid budget. The coarse pass is
+    # served from the store too; only genuinely new points simulate.
+    adaptive = explore(
+        space,
+        objective,
+        AdaptiveStrategy(space, seed=0),
+        evaluator=Evaluator(kernel=kernel, width=width, store=store),
+        budget=space.grid_size() // 2,
+    )
+    print(f"Adaptive ({adaptive.evaluated} evaluations, "
+          f"{adaptive.simulations_run} new simulations):")
+    print(f"  grid best     {objective.name} = {grid.best_score:.4g}  "
+          f"at {dict(grid.best.point)}")
+    print(f"  adaptive best {objective.name} = {adaptive.best_score:.4g}  "
+          f"at {dict(adaptive.best.point)}")
+    verdict = "matches" if adaptive.best_score == grid.best_score else (
+        "beats" if adaptive.best_score < grid.best_score else "trails")
+    print(f"  -> adaptive {verdict} the exhaustive grid at half the budget")
+
+
+if __name__ == "__main__":
+    main()

@@ -6,6 +6,13 @@ and prints the chip provisioning needed to run it at the speed of data.
 Run:  python examples/quickstart.py
 """
 
+import os
+
+# Smoke-test hook: REPRO_SMOKE=1 shrinks problem sizes so the test suite
+# can run every example in-process in seconds.
+SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
+WIDTH = 8 if SMOKE else 32
+
 import repro
 
 
@@ -22,8 +29,8 @@ def main() -> None:
     print(f"  throughput {pi8_factory.throughput_per_ms:.1f} encoded pi/8 / ms")
     print()
 
-    # 2. Characterize the 32-bit carry-lookahead adder (Section 3).
-    kernel = repro.analyze_kernel("qcla", width=32)
+    # 2. Characterize the carry-lookahead adder (Section 3).
+    kernel = repro.analyze_kernel("qcla", width=WIDTH)
     print(f"{kernel.name}: {kernel.total_gates} encoded gates, "
           f"{kernel.pi8_gate_count} of them pi/8-type "
           f"({kernel.non_transversal_fraction:.0%} non-transversal)")

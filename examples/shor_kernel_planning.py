@@ -15,13 +15,20 @@ whichever kernel is live. This example plans that chip:
 Run:  python examples/shor_kernel_planning.py
 """
 
+import os
+
+# Smoke-test hook: REPRO_SMOKE=1 shrinks problem sizes so the test suite
+# can run every example in-process in seconds.
+SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
+WIDTH = 8 if SMOKE else 32
+
 from repro import analyze_kernel, area_breakdown
 from repro.arch.qalypso import tile_for_kernel
 from repro.factory import Pi8Factory, PipelinedZeroFactory
 
 
 def main() -> None:
-    kernels = [analyze_kernel(name, 32) for name in ("qrca", "qcla", "qft")]
+    kernels = [analyze_kernel(name, WIDTH) for name in ("qrca", "qcla", "qft")]
     print("Kernel demands at the speed of data:")
     for ka in kernels:
         print(f"  {ka.name:<14} {ka.zero_bandwidth_per_ms:7.1f} zeros/ms  "

@@ -9,6 +9,14 @@ the Figure 4c preparation quality by Monte Carlo under each error model.
 Run:  python examples/technology_whatif.py
 """
 
+import os
+
+# Smoke-test hook: REPRO_SMOKE=1 shrinks problem sizes so the test suite
+# can run every example in-process in seconds.
+SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
+WIDTH = 8 if SMOKE else 16
+TRIALS = 500 if SMOKE else 20000
+
 from repro import (
     ErrorRates,
     ION_TRAP,
@@ -22,9 +30,9 @@ from repro.tech import TechnologyParams
 
 def factory_line(name: str, tech: TechnologyParams) -> None:
     factory = PipelinedZeroFactory(tech)
-    kernel = analyze_kernel("qrca", 16, tech)
+    kernel = analyze_kernel("qrca", WIDTH, tech)
     print(f"  {name:<24} factory {factory.throughput_per_ms:6.1f} anc/ms in "
-          f"{factory.area} mb; QRCA-16 needs {kernel.zero_bandwidth_per_ms:6.1f}/ms "
+          f"{factory.area} mb; QRCA-{WIDTH} needs {kernel.zero_bandwidth_per_ms:6.1f}/ms "
           f"-> {factory.area_for_bandwidth(kernel.zero_bandwidth_per_ms):7.0f} mb")
 
 
@@ -38,12 +46,12 @@ def main() -> None:
     slow_moves = TechnologyParams(name="slow-shuttle", t_move=10.0, t_turn=100.0)
     factory_line("10x slower shuttling", slow_moves)
 
-    print("\nFigure 4c output quality vs gate error rate (20k trials each):")
+    print(f"\nFigure 4c output quality vs gate error rate ({TRIALS} trials each):")
     for gate_rate in (1e-4, 3e-4, 1e-3):
         errors = ErrorRates(gate=gate_rate, movement=gate_rate / 100,
                             measurement=0.0)
         report = evaluate_strategy(
-            PrepStrategy.VERIFY_AND_CORRECT, trials=20000, seed=7, errors=errors
+            PrepStrategy.VERIFY_AND_CORRECT, trials=TRIALS, seed=7, errors=errors
         )
         print(f"  gate error {gate_rate:.0e}: uncorrectable "
               f"{report.error_rate:.2e}, discard {report.discard_rate:.2%}")

@@ -1,21 +1,46 @@
-"""Command-line entry point: regenerate paper artifacts.
+"""Command-line entry point: regenerate paper artifacts, explore designs.
 
 Usage::
 
-    python -m repro list                 # list reproducible artifacts
-    python -m repro table3               # print one table/figure
-    python -m repro all                  # print everything (slow: runs
-                                         # the Monte Carlo and the sweeps)
+    python -m repro list                  # list reproducible artifacts
+    python -m repro table3                # print one table/figure
+    python -m repro run fig15 --workers 4 # same, with sweep options
+    python -m repro all                   # print everything (slow: runs
+                                          # the Monte Carlo and the sweeps)
+    python -m repro explore qcla-32 --objective adcr --strategy adaptive \\
+        --budget 30                       # ADCR-driven design-space search
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
+from typing import List, Optional, Tuple
 
 from repro.reporting import EXPERIMENTS, run_experiment
 
+_DEFAULT_WIDTH = 32
 
-def _list() -> int:
+
+def _parse_kernel(spec: str) -> Tuple[str, int]:
+    """``"qcla-32"`` -> ("qcla", 32); a bare name defaults to width 32."""
+    name, sep, width = spec.partition("-")
+    if not sep:
+        return name.lower(), _DEFAULT_WIDTH
+    try:
+        return name.lower(), int(width)
+    except ValueError:
+        raise ValueError(
+            f"bad kernel spec {spec!r}; expected <name> or <name>-<width> "
+            "(e.g. qcla-32)"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Subcommand handlers
+
+
+def _cmd_list(ns: argparse.Namespace) -> int:
     width = max(len(key) for key in EXPERIMENTS)
     for key in sorted(EXPERIMENTS):
         exp = EXPERIMENTS[key]
@@ -23,26 +48,193 @@ def _list() -> int:
     return 0
 
 
-def main(argv: list | None = None) -> int:
-    args = list(sys.argv[1:] if argv is None else argv)
-    if not args or args[0] in ("-h", "--help", "help"):
-        print(__doc__)
-        return 0
-    target = args[0]
-    if target == "list":
-        return _list()
-    if target == "all":
-        for key in sorted(EXPERIMENTS):
-            print(f"=== {key} ({EXPERIMENTS[key].paper_ref}) ===")
-            print(run_experiment(key))
-            print()
-        return 0
+def _cmd_all(ns: argparse.Namespace) -> int:
+    for key in sorted(EXPERIMENTS):
+        print(f"=== {key} ({EXPERIMENTS[key].paper_ref}) ===")
+        print(run_experiment(key, workers=ns.workers, engine=ns.engine))
+        print()
+    return 0
+
+
+def _cmd_run(ns: argparse.Namespace) -> int:
     try:
-        print(run_experiment(target))
+        print(run_experiment(ns.experiment, workers=ns.workers, engine=ns.engine))
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     return 0
+
+
+def _cmd_explore(ns: argparse.Namespace) -> int:
+    from repro.explore import (
+        Evaluator,
+        ResultStore,
+        architecture_space,
+        explore,
+        format_exploration,
+        get_objective,
+        get_strategy,
+    )
+
+    store = None if ns.no_cache else ResultStore(ns.cache_dir)
+    if ns.clear_cache:
+        removed = ResultStore(ns.cache_dir).clear()
+        print(f"cleared {removed} cached evaluations from the result store")
+        if ns.kernel is None:
+            return 0
+    if ns.kernel is None:
+        print("error: a kernel to explore is required (e.g. qcla-32)",
+              file=sys.stderr)
+        return 2
+    try:
+        kernel, width = _parse_kernel(ns.kernel)
+        from repro.kernels import analyze_kernel
+
+        analysis = analyze_kernel(kernel, width)
+        space = architecture_space(analysis)
+        objective = get_objective(
+            ns.objective,
+            max_total_area=ns.max_area,
+            max_makespan_ms=ns.max_latency_ms,
+        )
+        strategy = get_strategy(ns.strategy, space, seed=ns.seed)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    evaluator = Evaluator(
+        kernel=kernel,
+        width=width,
+        engine=ns.engine,
+        workers=ns.workers,
+        store=store,
+    )
+    budget = ns.budget if ns.budget is not None else space.grid_size()
+    try:
+        result = explore(
+            space, objective, strategy, evaluator=evaluator, budget=budget
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_exploration(result))
+    return 0
+
+
+# ----------------------------------------------------------------------
+
+
+def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="evaluate sweep/exploration points across N worker processes",
+    )
+    parser.add_argument(
+        "--engine", choices=("compiled", "legacy"), default=None,
+        help="dataflow engine (default: compiled)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduce the paper's tables and figures, or explore the "
+            "architecture design space. A bare experiment key (e.g. "
+            "'table3') is shorthand for 'run table3'."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", metavar="command")
+
+    p_list = sub.add_parser("list", help="list reproducible artifacts")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_all = sub.add_parser(
+        "all", help="print every artifact (slow: Monte Carlo + sweeps)"
+    )
+    _add_sweep_options(p_all)
+    p_all.set_defaults(func=_cmd_all)
+
+    p_run = sub.add_parser("run", help="print one table/figure by key")
+    p_run.add_argument(
+        "experiment", metavar="experiment",
+        help=f"one of: {', '.join(sorted(EXPERIMENTS))}",
+    )
+    _add_sweep_options(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_explore = sub.add_parser(
+        "explore",
+        help="search the design space for an objective-optimal architecture",
+        description=(
+            "ADCR-driven design-space exploration over architecture kind "
+            "and factory-area budget. Every evaluation is persisted in a "
+            "content-addressed result store under .repro_cache/, so "
+            "re-runs and refined searches are incremental."
+        ),
+    )
+    p_explore.add_argument(
+        "kernel", nargs="?", default=None,
+        help="kernel to explore, as <name>[-<width>] (e.g. qcla-32)",
+    )
+    p_explore.add_argument(
+        "--objective", default="adcr", choices=("adcr", "latency", "area"),
+        help="figure of merit to minimize (default: adcr)",
+    )
+    p_explore.add_argument(
+        "--strategy", default="grid", choices=("grid", "random", "adaptive"),
+        help="search strategy (default: grid)",
+    )
+    p_explore.add_argument(
+        "--budget", type=int, default=None, metavar="N",
+        help="max design points to evaluate (default: the full grid)",
+    )
+    p_explore.add_argument(
+        "--seed", type=int, default=0,
+        help="RNG seed for random/adaptive strategies (default: 0)",
+    )
+    p_explore.add_argument(
+        "--max-area", type=float, default=None, metavar="MB",
+        help="constraint: reject points above this total area",
+    )
+    p_explore.add_argument(
+        "--max-latency-ms", type=float, default=None, metavar="MS",
+        help="constraint: reject points above this execution time",
+    )
+    p_explore.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-store root (default: .repro_cache, or $REPRO_CACHE_DIR)",
+    )
+    p_explore.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the result store",
+    )
+    p_explore.add_argument(
+        "--clear-cache", action="store_true",
+        help="wipe the result store first (alone: wipe and exit)",
+    )
+    _add_sweep_options(p_explore)
+    p_explore.set_defaults(func=_cmd_explore, engine="compiled")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if args and args[0] in EXPERIMENTS:
+        args = ["run"] + args
+    parser = build_parser()
+    if not args:
+        parser.print_help()
+        return 0
+    try:
+        ns = parser.parse_args(args)
+    except SystemExit as exc:  # argparse exits for --help (0) and errors (2)
+        return int(exc.code or 0)
+    if getattr(ns, "func", None) is None:
+        parser.print_help()
+        return 0
+    if getattr(ns, "engine", None) is None:
+        ns.engine = "compiled"
+    return ns.func(ns)
 
 
 if __name__ == "__main__":

@@ -72,6 +72,22 @@ def factory_exchange_rates(
     return zero_cost, pi8_cost
 
 
+def demand_area_for_rates(
+    zero_per_ms: float,
+    pi8_per_ms: float,
+    tech: TechnologyParams = ION_TRAP,
+) -> float:
+    """Factory area (macroblocks) sustaining the given steady rates.
+
+    The single pricing rule both directions share: :func:`split_area`
+    inverts it to turn an area budget into rates, and
+    :func:`repro.arch.provisioning.factory_area_for_rates` exposes it to
+    price steady-supply operating points.
+    """
+    zero_cost, pi8_cost = factory_exchange_rates(tech)
+    return zero_per_ms * zero_cost + pi8_per_ms * pi8_cost
+
+
 def split_area(
     area: float,
     zero_demand_per_ms: float,
@@ -85,8 +101,9 @@ def split_area(
     """
     if area < 0:
         raise ValueError(f"area must be >= 0, got {area}")
-    zero_cost, pi8_cost = factory_exchange_rates(tech)
-    demand_area = zero_demand_per_ms * zero_cost + pi8_demand_per_ms * pi8_cost
+    demand_area = demand_area_for_rates(
+        zero_demand_per_ms, pi8_demand_per_ms, tech
+    )
     if demand_area <= 0:
         return {ZERO: 0.0, PI8: 0.0}
     scale = area / demand_area

@@ -61,6 +61,28 @@ class AreaBreakdown:
         return self.factory_area / self.total_area
 
 
+def factory_area_for_rates(
+    zero_per_ms: float, pi8_per_ms: float, tech=None
+) -> float:
+    """Factory area (macroblocks) sustaining the given steady rates.
+
+    Uses the pipelined-factory exchange rates with fractional replication
+    (Table 9's convention): the pi/8 cost includes the zero factories
+    feeding the conversion pipeline. This is the inverse of
+    :func:`repro.arch.architectures.split_area` — pricing a steady-supply
+    operating point so explorations can compare it with architecture
+    points on the same area axis.
+    """
+    from repro.arch.architectures import demand_area_for_rates
+    from repro.tech import ION_TRAP
+
+    if zero_per_ms < 0 or pi8_per_ms < 0:
+        raise ValueError("rates must be >= 0")
+    return demand_area_for_rates(
+        zero_per_ms, pi8_per_ms, tech if tech is not None else ION_TRAP
+    )
+
+
 def area_breakdown(analysis: KernelAnalysis) -> AreaBreakdown:
     """Compute the Table 9 row for a characterized kernel.
 

@@ -166,7 +166,7 @@ def compare_with_cqla(
         compiled=compiled,
     ).run()
     cqla_result = _simulate_architecture(
-        analysis, ArchitectureKind.CQLA, factory_area, analysis.tech, cqla,
+        analysis, ArchitectureKind.CQLA, factory_area, cqla,
         compiled=compiled,
     )
     return QalypsoComparison(

@@ -8,37 +8,27 @@ then flattens at the speed-of-data floor.
 Figure 15: execution time as a function of total ancilla-factory area for
 the QLA, CQLA and Fully-Multiplexed microarchitectures.
 
-Both sweeps lower the kernel to its compiled array form exactly once and
-share that compilation across every sweep point; both also accept a
-prebuilt one via ``compiled=`` (compilation is additionally memoized per
-circuit, so repeated sweeps over one kernel compile once either way). An
-opt-in ``workers=N`` mode farms points out to worker processes via
-:mod:`concurrent.futures`; worker processes do not share the parent's
-compilation cache, so each chunk compiles its own copy — the prebuilt
-form applies to serial runs. Simulation is deterministic and points are
-reassembled in order, so parallel results are identical to serial ones.
+Both sweeps are grid explorations: they enumerate a fixed lattice of
+design points and batch them through
+:class:`repro.explore.evaluator.Evaluator`, the same machinery behind
+``python -m repro explore``. The kernel is lowered to its compiled array
+form exactly once per sweep (or once per worker process under
+``workers=N`` — the process-pool initializer compiles it, and each task
+is a bare design-point dict). Simulation is deterministic and points
+come back in order, so parallel results are identical to serial ones.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.arch.architectures import (
-    ArchitectureKind,
-    CqlaConfig,
-    MultiplexedConfig,
-    QlaConfig,
-)
-from repro.arch.simulator import DataflowSimulator, SimulationResult
-from repro.arch.supply import SteadyRateSupply, PI8, ZERO
-from repro.circuits import Circuit
-from repro.circuits.compiled import CompiledCircuit, compile_circuit
+from repro.arch.architectures import ArchitectureKind, CqlaConfig
+from repro.arch.simulator import SimulationResult
+from repro.circuits.compiled import CompiledCircuit
 from repro.kernels.analysis import KernelAnalysis
-from repro.tech import TechnologyParams
 
 _ENGINES = ("compiled", "legacy")
 
@@ -52,46 +42,24 @@ class SweepPoint:
     result: SimulationResult
 
 
-def _run_engine(sim: DataflowSimulator, engine: str) -> SimulationResult:
+def _make_evaluator(
+    analysis: KernelAnalysis,
+    compiled: Optional[CompiledCircuit],
+    workers: Optional[int],
+    engine: str,
+    cqla: Optional[CqlaConfig] = None,
+):
     if engine not in _ENGINES:
         raise ValueError(f"unknown engine {engine!r}; choose from {_ENGINES}")
-    return sim.run() if engine == "compiled" else sim.run_legacy()
+    from repro.explore.evaluator import Evaluator
 
-
-def _chunk(items: Sequence, workers: int) -> List[list]:
-    """Split ``items`` into at most ``workers`` contiguous, ordered chunks."""
-    count = min(workers, len(items))
-    bounds = np.linspace(0, len(items), count + 1).astype(int)
-    return [list(items[lo:hi]) for lo, hi in zip(bounds, bounds[1:]) if hi > lo]
-
-
-def _throughput_points(
-    circuit: Circuit,
-    tech: TechnologyParams,
-    rates: Sequence[float],
-    pi8_ratio: float,
-    compiled: Optional[CompiledCircuit],
-    engine: str,
-) -> List[SweepPoint]:
-    if compiled is None and engine == "compiled":
-        compiled = compile_circuit(circuit, tech)
-    points = []
-    for rate in rates:
-        supply = SteadyRateSupply({ZERO: rate, PI8: rate * pi8_ratio})
-        sim = DataflowSimulator(circuit, tech, supply=supply, compiled=compiled)
-        result = _run_engine(sim, engine)
-        points.append(SweepPoint(float(rate), result.makespan_us, result))
-    return points
-
-
-def _throughput_chunk(args) -> List[SweepPoint]:
-    """Worker-process task: one contiguous chunk of throughput points.
-
-    Compiles the kernel once per chunk (worker processes do not share the
-    parent's compilation cache).
-    """
-    circuit, tech, rates, pi8_ratio, engine = args
-    return _throughput_points(circuit, tech, rates, pi8_ratio, None, engine)
+    return Evaluator(
+        analysis=analysis,
+        engine=engine,
+        workers=workers,
+        compiled=compiled,
+        cqla=cqla,
+    )
 
 
 def throughput_sweep(
@@ -113,14 +81,13 @@ def throughput_sweep(
             logarithmic sweep bracketing the kernel's average bandwidth.
         compiled: Optional prebuilt compiled circuit to reuse; compiled
             once for the whole sweep when omitted. Serial runs only —
-            worker processes compile their own copy per chunk.
+            worker processes compile their own copy in the pool
+            initializer.
         workers: When > 1, farm points out to this many worker processes.
             Results are identical to a serial run.
         engine: ``"compiled"`` (default) or ``"legacy"`` — the reference
             per-gate loop, kept selectable for baseline measurement.
     """
-    if engine not in _ENGINES:
-        raise ValueError(f"unknown engine {engine!r}; choose from {_ENGINES}")
     avg = analysis.zero_bandwidth_per_ms
     if throughputs_per_ms is None:
         throughputs_per_ms = np.geomspace(avg / 16.0, avg * 16.0, 17)
@@ -128,90 +95,29 @@ def throughput_sweep(
     pi8_ratio = (
         analysis.pi8_bandwidth_per_ms / avg if avg > 0 else 0.0
     )
-    circuit, tech = analysis.circuit, analysis.tech
-    if workers is not None and workers > 1 and len(rates) > 1:
-        chunks = _chunk(rates, workers)
-        tasks = [(circuit, tech, chunk, pi8_ratio, engine) for chunk in chunks]
-        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-            return [
-                point
-                for chunk_points in pool.map(_throughput_chunk, tasks)
-                for point in chunk_points
-            ]
-    return _throughput_points(circuit, tech, rates, pi8_ratio, compiled, engine)
-
-
-def _simulate_point(
-    circuit: Circuit,
-    tech: TechnologyParams,
-    zero_demand: float,
-    pi8_demand: float,
-    kind: ArchitectureKind,
-    area: float,
-    cqla: Optional[CqlaConfig],
-    compiled: Optional[CompiledCircuit],
-    engine: str,
-) -> SimulationResult:
-    nq = circuit.num_qubits
-    if kind is ArchitectureKind.QLA:
-        config = QlaConfig()
-        supply = config.build_supply(area, nq, zero_demand, pi8_demand, tech)
-        cache = None
-    elif kind is ArchitectureKind.CQLA:
-        config = cqla or CqlaConfig()
-        supply = config.build_supply(area, nq, zero_demand, pi8_demand, tech)
-        cache = config
-    elif kind is ArchitectureKind.MULTIPLEXED:
-        config = MultiplexedConfig()
-        supply = config.build_supply(area, nq, zero_demand, pi8_demand, tech)
-        cache = None
-    else:
-        raise ValueError(f"unknown architecture {kind}")
-    sim = DataflowSimulator(
-        circuit,
-        tech,
-        supply=supply,
-        movement_penalty_us=config.movement_penalty(False, tech),
-        two_qubit_movement_penalty_us=config.movement_penalty(True, tech),
-        cqla=cache,
-        compiled=compiled,
+    evaluator = _make_evaluator(analysis, compiled, workers, engine)
+    evaluations = evaluator.evaluate(
+        [{"zero_rate": rate, "pi8_ratio": pi8_ratio} for rate in rates]
     )
-    return _run_engine(sim, engine)
+    return [
+        SweepPoint(rate, evaluation.result.makespan_us, evaluation.result)
+        for rate, evaluation in zip(rates, evaluations)
+    ]
 
 
 def _simulate_architecture(
     analysis: KernelAnalysis,
     kind: ArchitectureKind,
     area: float,
-    tech: TechnologyParams,
     cqla: Optional[CqlaConfig] = None,
     compiled: Optional[CompiledCircuit] = None,
     engine: str = "compiled",
 ) -> SimulationResult:
-    return _simulate_point(
-        analysis.circuit,
-        tech,
-        analysis.zero_bandwidth_per_ms,
-        analysis.pi8_bandwidth_per_ms,
-        kind,
-        area,
-        cqla,
-        compiled,
-        engine,
-    )
-
-
-def _area_chunk(args) -> List[SimulationResult]:
-    """Worker-process task: one contiguous chunk of (kind, area) points."""
-    circuit, tech, zero_demand, pi8_demand, tasks, cqla, engine = args
-    compiled = compile_circuit(circuit, tech) if engine == "compiled" else None
-    return [
-        _simulate_point(
-            circuit, tech, zero_demand, pi8_demand, kind, area, cqla,
-            compiled, engine,
-        )
-        for kind, area in tasks
-    ]
+    """One architecture point under ``analysis.tech`` (shared with the
+    Qalypso comparison)."""
+    evaluator = _make_evaluator(analysis, compiled, None, engine, cqla)
+    point = {"arch": kind.value, "factory_area": float(area)}
+    return evaluator.evaluate([point])[0].result
 
 
 def area_sweep(
@@ -234,7 +140,8 @@ def area_sweep(
         cqla: Optional CQLA configuration override.
         compiled: Optional prebuilt compiled circuit to reuse; compiled
             once for the whole sweep when omitted. Serial runs only —
-            worker processes compile their own copy per chunk.
+            worker processes compile their own copy in the pool
+            initializer.
         workers: When > 1, farm points out to this many worker processes.
             Results are identical to a serial run.
         engine: ``"compiled"`` (default) or ``"legacy"`` — the reference
@@ -249,37 +156,18 @@ def area_sweep(
         areas = np.geomspace(matched / 8.0, matched * 512.0, 14)
     areas = [float(area) for area in areas]
     kinds = tuple(kinds)
-    circuit, tech = analysis.circuit, analysis.tech
-    zero_demand = analysis.zero_bandwidth_per_ms
-    pi8_demand = analysis.pi8_bandwidth_per_ms
     flat: List[Tuple[ArchitectureKind, float]] = [
         (kind, area) for kind in kinds for area in areas
     ]
-    if workers is not None and workers > 1 and len(flat) > 1:
-        chunks = _chunk(flat, workers)
-        tasks = [
-            (circuit, tech, zero_demand, pi8_demand, chunk, cqla, engine)
-            for chunk in chunks
-        ]
-        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-            results = [
-                result
-                for chunk_results in pool.map(_area_chunk, tasks)
-                for result in chunk_results
-            ]
-    else:
-        if compiled is None and engine == "compiled":
-            compiled = analysis.compiled_circuit()
-        results = [
-            _simulate_point(
-                circuit, tech, zero_demand, pi8_demand, kind, area, cqla,
-                compiled, engine,
-            )
-            for kind, area in flat
-        ]
+    evaluator = _make_evaluator(analysis, compiled, workers, engine, cqla)
+    evaluations = evaluator.evaluate(
+        [{"arch": kind.value, "factory_area": area} for kind, area in flat]
+    )
     curves: Dict[ArchitectureKind, List[SweepPoint]] = {kind: [] for kind in kinds}
-    for (kind, area), result in zip(flat, results):
-        curves[kind].append(SweepPoint(area, result.makespan_us, result))
+    for (kind, area), evaluation in zip(flat, evaluations):
+        curves[kind].append(
+            SweepPoint(area, evaluation.result.makespan_us, evaluation.result)
+        )
     return curves
 
 

@@ -1,0 +1,245 @@
+"""The exploration loop: strategy asks, evaluator answers, budget gates.
+
+:func:`explore` wires a :class:`~repro.explore.space.DesignSpace`, an
+objective, a strategy and an :class:`~repro.explore.evaluator.Evaluator`
+into one bounded search. The engine owns cross-batch deduplication (a
+strategy re-proposing a seen point costs nothing) and the evaluation
+budget (counted in *unique evaluated points*, whether they came from the
+simulator or the warm result store).
+
+The returned :class:`ExplorationResult` carries every evaluation, the
+best point under the objective, per-architecture winners and the
+area-delay Pareto front — the raw material of the paper's Figure 15/16
+argument, for arbitrary kernels and spaces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.explore.evaluator import Evaluation, Evaluator
+from repro.explore.objectives import Objective
+from repro.explore.space import DesignSpace
+from repro.explore.strategies import Strategy
+
+#: Consecutive all-duplicate asks after which the engine stops waiting
+#: for a strategy to produce something new.
+_STALL_LIMIT = 3
+
+
+@dataclass
+class ExplorationResult:
+    """Everything one exploration learned."""
+
+    kernel: str
+    objective_name: str
+    strategy_name: str
+    evaluations: List[Evaluation] = field(default_factory=list)
+    scores: List[float] = field(default_factory=list)
+    simulations_run: int = 0
+    cache_hits: int = 0
+
+    @property
+    def evaluated(self) -> int:
+        """Unique design points evaluated (the spent budget)."""
+        return len(self.evaluations)
+
+    @property
+    def best_index(self) -> int:
+        if not self.evaluations:
+            raise ValueError("exploration evaluated no points")
+        return min(range(len(self.scores)), key=lambda i: self.scores[i])
+
+    @property
+    def best(self) -> Evaluation:
+        return self.evaluations[self.best_index]
+
+    @property
+    def best_score(self) -> float:
+        return self.scores[self.best_index]
+
+    def best_per(self, dimension: str) -> Dict[object, Tuple[Evaluation, float]]:
+        """Best (evaluation, score) for each value of ``dimension``."""
+        winners: Dict[object, Tuple[Evaluation, float]] = {}
+        for evaluation, score in zip(self.evaluations, self.scores):
+            value = evaluation.point_dict.get(dimension)
+            if value is None:
+                continue
+            incumbent = winners.get(value)
+            if incumbent is None or score < incumbent[1]:
+                winners[value] = (evaluation, score)
+        return winners
+
+    def pareto_front(self) -> List[Evaluation]:
+        """Area-delay nondominated evaluations, ordered by ascending area."""
+        return pareto_front(self.evaluations)
+
+
+def pareto_front(evaluations: List[Evaluation]) -> List[Evaluation]:
+    """Evaluations no other point beats on both total area and delay."""
+    ordered = sorted(
+        evaluations, key=lambda e: (e.total_area, e.result.makespan_us)
+    )
+    front: List[Evaluation] = []
+    best_delay = math.inf
+    for evaluation in ordered:
+        if evaluation.result.makespan_us < best_delay:
+            front.append(evaluation)
+            best_delay = evaluation.result.makespan_us
+    return front
+
+
+def explore(
+    space: DesignSpace,
+    objective: Objective,
+    strategy: Strategy,
+    *,
+    evaluator: Evaluator,
+    budget: int,
+) -> ExplorationResult:
+    """Search ``space`` for the point minimizing ``objective``.
+
+    Args:
+        space: The design space (strategies hold it too; passed for
+            result metadata and sanity).
+        objective: Scoring rule; lower is better.
+        strategy: Proposal policy (grid / random / adaptive / custom).
+        evaluator: Point evaluator; its result store makes re-runs and
+            refinements incremental.
+        budget: Maximum unique design points to evaluate.
+
+    The loop ends when the budget is spent, the strategy runs dry, or
+    the strategy stalls (proposes only already-seen points several asks
+    in a row).
+    """
+    if budget < 1:
+        raise ValueError(f"budget must be >= 1, got {budget}")
+    sims_before = evaluator.simulations_run
+    hits_before = evaluator.cache_hits
+    result = ExplorationResult(
+        kernel=_kernel_label(evaluator),
+        objective_name=objective.name,
+        strategy_name=type(strategy).__name__,
+    )
+    seen: set = set()
+    stalls = 0
+    while result.evaluated < budget and stalls < _STALL_LIMIT:
+        asked = strategy.ask(budget - result.evaluated)
+        if not asked:
+            break
+        fresh: List[Dict] = []
+        fresh_keys: set = set()
+        for point in asked:
+            key = evaluator.canonical_key(point)
+            if key in seen or key in fresh_keys:
+                continue
+            fresh.append(point)
+            fresh_keys.add(key)
+        if not fresh:
+            stalls += 1
+            strategy.tell([])
+            continue
+        stalls = 0
+        seen |= fresh_keys
+        evaluations = evaluator.evaluate(fresh)
+        scored = [(e, objective.score(e)) for e in evaluations]
+        result.evaluations.extend(e for e, _ in scored)
+        result.scores.extend(s for _, s in scored)
+        strategy.tell(scored)
+    result.simulations_run = evaluator.simulations_run - sims_before
+    result.cache_hits = evaluator.cache_hits - hits_before
+    return result
+
+
+def _kernel_label(evaluator: Evaluator) -> str:
+    if evaluator._kernel is not None:
+        return f"{evaluator._kernel}-{evaluator._width}"
+    return evaluator._summary.name
+
+
+# ----------------------------------------------------------------------
+# Reporting
+
+
+def format_exploration(result: ExplorationResult, pareto_rows: int = 12) -> str:
+    """Human-readable exploration report: pick, per-arch bests, Pareto."""
+    from repro.reporting.tables import format_table
+
+    lines = [
+        f"Exploration of {result.kernel} — objective {result.objective_name}, "
+        f"strategy {result.strategy_name}",
+        f"  evaluated {result.evaluated} design points "
+        f"({result.simulations_run} new simulations, "
+        f"{result.cache_hits} served from the result store)",
+    ]
+    if not result.evaluations:
+        lines.append("  no feasible points evaluated")
+        return "\n".join(lines)
+    if math.isinf(result.best_score):
+        lines.append(
+            "  no feasible point found: every evaluated point violates the "
+            "objective's constraints (relax --max-area / --max-latency-ms "
+            "or widen the space)"
+        )
+        return "\n".join(lines)
+    best = result.best
+    lines.append(
+        f"  best: {_point_label(best)}  ->  score {result.best_score:.4g}  "
+        f"(delay {best.result.makespan_ms:.2f} ms, "
+        f"total area {best.total_area:.0f} mb)"
+    )
+    winners = result.best_per("arch")
+    if len(winners) > 1:
+        rows = [
+            (
+                arch,
+                _fmt(evaluation.point_dict.get("factory_area")),
+                f"{evaluation.result.makespan_ms:.2f}",
+                f"{evaluation.total_area:.0f}",
+                f"{score:.4g}",
+            )
+            for arch, (evaluation, score) in sorted(winners.items())
+        ]
+        lines.append("")
+        lines.append(
+            format_table(
+                ["Architecture", "Factory Area", "Delay (ms)",
+                 "Total Area", result.objective_name.upper()],
+                rows,
+                title="Best point per architecture",
+            )
+        )
+    front = result.pareto_front()
+    shown = front[:pareto_rows]
+    rows = [
+        (
+            _point_label(evaluation),
+            f"{evaluation.total_area:.0f}",
+            f"{evaluation.result.makespan_ms:.2f}",
+        )
+        for evaluation in shown
+    ]
+    lines.append("")
+    title = f"Area-delay Pareto front ({len(front)} points"
+    title += ")" if len(front) <= pareto_rows else f", first {pareto_rows})"
+    lines.append(
+        format_table(["Design Point", "Total Area (mb)", "Delay (ms)"], rows,
+                     title=title)
+    )
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _point_label(evaluation: Evaluation) -> str:
+    return ", ".join(
+        f"{name}={_fmt(value)}" for name, value in evaluation.point
+    )

@@ -1,0 +1,543 @@
+"""Point evaluation: lower a design point to a simulator run.
+
+The :class:`Evaluator` is the bridge between abstract design points
+(dicts of dimension name -> value, see :mod:`repro.explore.space`) and
+the compiled dataflow engine. It
+
+* canonicalizes points (fills architecture-specific defaults, drops
+  irrelevant dimensions) so equivalent configurations collapse to one
+  evaluation;
+* deduplicates repeated points within a batch;
+* consults a :class:`~repro.explore.store.ResultStore` so warm re-runs
+  and refined searches perform zero repeat simulations;
+* batches cache misses through ``workers=N`` processes, compiling the
+  kernel **once per worker** via a ``ProcessPoolExecutor`` initializer —
+  tasks are bare point dicts, so nothing heavyweight is re-pickled per
+  chunk.
+
+Two construction modes:
+
+* ``Evaluator(analysis=ka)`` — evaluate against a prebuilt
+  :class:`~repro.kernels.analysis.KernelAnalysis` (what the sweeps use);
+* ``Evaluator(kernel="qcla", width=32)`` — evaluate against a kernel
+  *specification*; workers rebuild the (memoized) analysis themselves,
+  and the ``tech_scale`` dimension becomes available because the
+  evaluator can re-characterize the kernel under scaled technology.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.architectures import (
+    ArchitectureKind,
+    CqlaConfig,
+    MultiplexedConfig,
+    QlaConfig,
+)
+from repro.arch.simulator import DataflowSimulator, SimulationResult
+from repro.arch.supply import PI8, ZERO, SteadyRateSupply
+from repro.circuits.compiled import CompiledCircuit, compile_circuit
+from repro.explore.store import ResultStore, canonical_json
+from repro.layout.region import data_qubit_area
+from repro.tech import ION_TRAP, TechnologyParams
+
+ENGINES = ("compiled", "legacy")
+
+#: Dimension names the lowering understands.
+KNOWN_DIMENSIONS = frozenset(
+    {
+        "arch",
+        "factory_area",
+        "cqla_cache_fraction",
+        "cqla_ports",
+        "region_span",
+        "zero_rate",
+        "pi8_ratio",
+        "tech_scale",
+    }
+)
+
+
+@dataclass(frozen=True)
+class KernelSummary:
+    """The slice of a kernel analysis the lowering needs (picklable)."""
+
+    name: str
+    circuit: object
+    tech: TechnologyParams
+    data_qubits: int
+    zero_bandwidth_per_ms: float
+    pi8_bandwidth_per_ms: float
+
+    @classmethod
+    def from_analysis(cls, analysis) -> "KernelSummary":
+        return cls(
+            name=analysis.name,
+            circuit=analysis.circuit,
+            tech=analysis.tech,
+            data_qubits=analysis.data_qubits,
+            zero_bandwidth_per_ms=analysis.zero_bandwidth_per_ms,
+            pi8_bandwidth_per_ms=analysis.pi8_bandwidth_per_ms,
+        )
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """One evaluated design point: simulation outcome plus area accounting."""
+
+    point: Tuple[Tuple[str, object], ...]
+    result: SimulationResult
+    factory_area: float
+    data_area: float
+    total_area: float
+    from_cache: bool = field(default=False, compare=False)
+
+    @property
+    def point_dict(self) -> Dict[str, object]:
+        return dict(self.point)
+
+    @property
+    def makespan_ms(self) -> float:
+        return self.result.makespan_ms
+
+
+def tech_fingerprint(tech: TechnologyParams) -> Dict[str, object]:
+    """Every field that shapes simulation, for content-addressed keys."""
+    return {
+        "name": tech.name,
+        "t_1q": tech.t_1q,
+        "t_2q": tech.t_2q,
+        "t_meas": tech.t_meas,
+        "t_prep": tech.t_prep,
+        "t_move": tech.t_move,
+        "t_turn": tech.t_turn,
+        "errors": asdict(tech.errors),
+    }
+
+
+# ----------------------------------------------------------------------
+# Lowering
+
+
+def _canonicalize(
+    point: Dict[str, object],
+    cqla: Optional[CqlaConfig],
+    allow_tech_scale: bool,
+) -> Dict[str, object]:
+    """Resolve defaults and drop irrelevant dimensions.
+
+    Equivalent configurations (a QLA point annotated with CQLA cache
+    dims, an explicit default region span, ``tech_scale == 1``) collapse
+    to one canonical dict, which is what the dedupe pass and the result
+    store key on.
+    """
+    unknown = set(point) - KNOWN_DIMENSIONS
+    if unknown:
+        raise ValueError(
+            f"unknown dimensions {sorted(unknown)}; "
+            f"supported: {sorted(KNOWN_DIMENSIONS)}"
+        )
+    canonical: Dict[str, object] = {}
+    scale = float(point.get("tech_scale", 1.0))
+    if scale != 1.0:
+        if not allow_tech_scale:
+            raise ValueError(
+                "tech_scale requires a kernel specification "
+                "(Evaluator(kernel=..., width=...)); an evaluator built "
+                "from a fixed analysis cannot re-characterize the kernel"
+            )
+        if scale <= 0:
+            raise ValueError(f"tech_scale must be positive, got {scale}")
+        canonical["tech_scale"] = scale
+
+    if "zero_rate" in point:
+        if "arch" in point or "factory_area" in point:
+            raise ValueError(
+                "a point is either a steady-supply point (zero_rate) or an "
+                f"architecture point (arch/factory_area), not both: {point}"
+            )
+        canonical["zero_rate"] = float(point["zero_rate"])
+        canonical["pi8_ratio"] = float(point.get("pi8_ratio", 0.0))
+        return canonical
+
+    if "arch" not in point or "factory_area" not in point:
+        raise ValueError(
+            f"an architecture point needs 'arch' and 'factory_area': {point}"
+        )
+    kind = point["arch"]
+    kind = kind.value if isinstance(kind, ArchitectureKind) else str(kind)
+    ArchitectureKind(kind)  # validates
+    canonical["arch"] = kind
+    canonical["factory_area"] = float(point["factory_area"])
+    if kind == ArchitectureKind.CQLA.value:
+        default = cqla or CqlaConfig()
+        canonical["cqla_cache_fraction"] = float(
+            point.get("cqla_cache_fraction", default.cache_fraction)
+        )
+        canonical["cqla_ports"] = int(point.get("cqla_ports", default.ports))
+    elif kind == ArchitectureKind.MULTIPLEXED.value:
+        canonical["region_span"] = int(
+            point.get("region_span", MultiplexedConfig().region_span)
+        )
+    return canonical
+
+
+def evaluate_design_point(
+    summary: KernelSummary,
+    point: Dict[str, object],
+    compiled: Optional[CompiledCircuit],
+    engine: str,
+) -> Evaluation:
+    """Run one *canonical* design point through the dataflow simulator."""
+    tech = summary.tech
+    circuit = summary.circuit
+    if "zero_rate" in point:
+        rate = point["zero_rate"]
+        ratio = point["pi8_ratio"]
+        supply = SteadyRateSupply({ZERO: rate, PI8: rate * ratio})
+        sim = DataflowSimulator(circuit, tech, supply=supply, compiled=compiled)
+        from repro.arch.provisioning import factory_area_for_rates
+
+        factory_area = factory_area_for_rates(rate, rate * ratio, tech)
+    else:
+        kind = ArchitectureKind(point["arch"])
+        cache: Optional[CqlaConfig] = None
+        if kind is ArchitectureKind.QLA:
+            config = QlaConfig()
+        elif kind is ArchitectureKind.CQLA:
+            config = CqlaConfig(
+                cache_fraction=point["cqla_cache_fraction"],
+                ports=point["cqla_ports"],
+            )
+            cache = config
+        else:
+            config = MultiplexedConfig(region_span=point["region_span"])
+        factory_area = float(point["factory_area"])
+        supply = config.build_supply(
+            factory_area,
+            circuit.num_qubits,
+            summary.zero_bandwidth_per_ms,
+            summary.pi8_bandwidth_per_ms,
+            tech,
+        )
+        sim = DataflowSimulator(
+            circuit,
+            tech,
+            supply=supply,
+            movement_penalty_us=config.movement_penalty(False, tech),
+            two_qubit_movement_penalty_us=config.movement_penalty(True, tech),
+            cqla=cache,
+            compiled=compiled,
+        )
+    result = sim.run() if engine == "compiled" else sim.run_legacy()
+    data_area = float(data_qubit_area(summary.data_qubits))
+    return Evaluation(
+        point=tuple(sorted(point.items())),
+        result=result,
+        factory_area=factory_area,
+        data_area=data_area,
+        total_area=factory_area + data_area,
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing: compile once per worker, reference per task.
+
+_WORKER: Dict[str, object] = {}
+
+
+def _init_worker_summary(summary: KernelSummary, engine: str) -> None:
+    """Pool initializer (analysis mode): one compilation per worker."""
+    _WORKER.clear()
+    _WORKER["mode"] = "summary"
+    _WORKER["engine"] = engine
+    _WORKER["summary"] = summary
+    _WORKER["compiled"] = (
+        compile_circuit(summary.circuit, summary.tech)
+        if engine == "compiled"
+        else None
+    )
+
+
+def _init_worker_spec(
+    kernel: str, width: int, tech: TechnologyParams, engine: str
+) -> None:
+    """Pool initializer (spec mode): workers re-derive analyses lazily."""
+    _WORKER.clear()
+    _WORKER["mode"] = "spec"
+    _WORKER["engine"] = engine
+    _WORKER["spec"] = (kernel, width, tech)
+    _WORKER["scales"] = {}
+
+
+def _summary_for_spec(
+    kernel: str,
+    width: int,
+    tech: TechnologyParams,
+    engine: str,
+    scale: float,
+) -> Tuple[KernelSummary, Optional[CompiledCircuit]]:
+    from repro.kernels.analysis import analyze_kernel
+
+    scaled = tech if scale == 1.0 else tech.scaled(scale)
+    analysis = analyze_kernel(kernel, width, scaled)
+    compiled = analysis.compiled_circuit() if engine == "compiled" else None
+    return KernelSummary.from_analysis(analysis), compiled
+
+
+def _worker_evaluate(point: Dict[str, object]) -> Evaluation:
+    engine = _WORKER["engine"]
+    if _WORKER["mode"] == "summary":
+        summary = _WORKER["summary"]
+        compiled = _WORKER["compiled"]
+    else:
+        kernel, width, tech = _WORKER["spec"]
+        scale = float(point.get("tech_scale", 1.0))
+        cached = _WORKER["scales"].get(scale)
+        if cached is None:
+            cached = _summary_for_spec(kernel, width, tech, engine, scale)
+            _WORKER["scales"][scale] = cached
+        summary, compiled = cached
+    return evaluate_design_point(summary, point, compiled, engine)
+
+
+# ----------------------------------------------------------------------
+
+
+class Evaluator:
+    """Batches design points through the dataflow engine.
+
+    Args:
+        analysis: Prebuilt kernel analysis (analysis mode). Mutually
+            exclusive with ``kernel``/``width``.
+        kernel: Kernel name (spec mode, e.g. ``"qcla"``); enables the
+            ``tech_scale`` dimension and kernel-identity store keys.
+        width: Kernel bit width (spec mode).
+        tech: Technology parameters (spec mode; analysis mode inherits
+            the analysis's).
+        engine: ``"compiled"`` (default) or ``"legacy"``.
+        workers: When > 1, evaluate store misses in this many worker
+            processes. The kernel is compiled once per worker by the pool
+            initializer; results are identical to a serial run.
+        compiled: Optional prebuilt compiled circuit (serial runs).
+        cqla: Default CQLA configuration for points that do not pin
+            ``cqla_cache_fraction`` / ``cqla_ports`` explicitly.
+        store: Optional :class:`ResultStore`; every evaluation is
+            persisted and repeat points are served from disk.
+
+    Counters (reset never; read after a run):
+
+    * ``simulations_run`` — fresh simulator executions;
+    * ``cache_hits`` — points served from the result store;
+    * ``dedup_hits`` — points collapsed onto an identical batch-mate.
+    """
+
+    def __init__(
+        self,
+        analysis=None,
+        *,
+        kernel: Optional[str] = None,
+        width: Optional[int] = None,
+        tech: TechnologyParams = ION_TRAP,
+        engine: str = "compiled",
+        workers: Optional[int] = None,
+        compiled: Optional[CompiledCircuit] = None,
+        cqla: Optional[CqlaConfig] = None,
+        store: Optional[ResultStore] = None,
+    ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+        if (analysis is None) == (kernel is None):
+            raise ValueError("pass exactly one of analysis= or kernel=/width=")
+        if kernel is not None and width is None:
+            raise ValueError("spec mode needs width= alongside kernel=")
+        self._analysis = analysis
+        self._kernel = kernel
+        self._width = width
+        self._tech = analysis.tech if analysis is not None else tech
+        self._engine = engine
+        self._workers = workers
+        self._cqla = cqla
+        self.store = store
+        self.simulations_run = 0
+        self.cache_hits = 0
+        self.dedup_hits = 0
+        self._summary: Optional[KernelSummary] = (
+            KernelSummary.from_analysis(analysis) if analysis is not None else None
+        )
+        self._compiled = compiled
+        self._scales: Dict[float, Tuple[KernelSummary, Optional[CompiledCircuit]]] = {}
+        self._gates: Optional[int] = None
+
+    # ------------------------------------------------------------------
+
+    def canonicalize(self, point: Dict[str, object]) -> Dict[str, object]:
+        return _canonicalize(point, self._cqla, allow_tech_scale=self._analysis is None)
+
+    def canonical_key(self, point: Dict[str, object]) -> str:
+        """Stable identity string for dedupe across batches."""
+        return canonical_json(self.canonicalize(point))
+
+    def _serial_context(
+        self, point: Dict[str, object]
+    ) -> Tuple[KernelSummary, Optional[CompiledCircuit]]:
+        if self._summary is not None:
+            if self._compiled is None and self._engine == "compiled":
+                self._compiled = compile_circuit(
+                    self._summary.circuit, self._summary.tech
+                )
+            return self._summary, self._compiled
+        scale = float(point.get("tech_scale", 1.0))
+        cached = self._scales.get(scale)
+        if cached is None:
+            cached = _summary_for_spec(
+                self._kernel, self._width, self._tech, self._engine, scale
+            )
+            self._scales[scale] = cached
+        return cached
+
+    def _gate_count(self) -> int:
+        """Decomposed gate count (circuit fingerprint) — no compilation.
+
+        Spec mode reads it off the (memoized) kernel analysis directly so
+        fully-warm runs never pay the array-form lowering.
+        """
+        if self._summary is not None:
+            return len(self._summary.circuit)
+        if self._gates is None:
+            from repro.kernels.analysis import analyze_kernel
+
+            self._gates = len(
+                analyze_kernel(self._kernel, self._width, self._tech).circuit
+            )
+        return self._gates
+
+    def _store_key(self, canonical: Dict[str, object]) -> Dict[str, object]:
+        if self._kernel is not None:
+            identity: Dict[str, object] = {
+                "kernel": self._kernel,
+                "width": self._width,
+            }
+        else:
+            identity = {"kernel": self._summary.name, "width": None}
+        gates = self._gate_count()
+        return {
+            **identity,
+            "gates": gates,
+            "tech": tech_fingerprint(self._tech),
+            "engine": self._engine,
+            "point": canonical,
+        }
+
+    # ------------------------------------------------------------------
+    # Store (de)serialization
+
+    @staticmethod
+    def _to_record(evaluation: Evaluation) -> Dict[str, object]:
+        return {
+            "result": asdict(evaluation.result),
+            "areas": {
+                "factory": evaluation.factory_area,
+                "data": evaluation.data_area,
+                "total": evaluation.total_area,
+            },
+            "point": dict(evaluation.point),
+        }
+
+    @staticmethod
+    def _from_record(
+        record: Dict[str, object], canonical: Dict[str, object]
+    ) -> Optional[Evaluation]:
+        try:
+            result = SimulationResult(**record["result"])
+            areas = record["areas"]
+            return Evaluation(
+                point=tuple(sorted(canonical.items())),
+                result=result,
+                factory_area=float(areas["factory"]),
+                data_area=float(areas["data"]),
+                total_area=float(areas["total"]),
+                from_cache=True,
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    # ------------------------------------------------------------------
+
+    def evaluate(self, points: Sequence[Dict[str, object]]) -> List[Evaluation]:
+        """Evaluate ``points``, returning evaluations aligned with them.
+
+        Within the batch, identical canonical points are simulated once;
+        store hits are served from disk; the rest run serially or across
+        ``workers`` processes (deterministic either way).
+        """
+        canonical = [self.canonicalize(p) for p in points]
+        keys = [canonical_json(c) for c in canonical]
+        unique: Dict[str, Dict[str, object]] = {}
+        for key, cpoint in zip(keys, canonical):
+            if key not in unique:
+                unique[key] = cpoint
+        self.dedup_hits += len(keys) - len(unique)
+
+        resolved: Dict[str, Evaluation] = {}
+        misses: List[Tuple[str, Dict[str, object]]] = []
+        for key, cpoint in unique.items():
+            hit = None
+            if self.store is not None:
+                record = self.store.get(self._store_key(cpoint))
+                if record is not None:
+                    hit = self._from_record(record, cpoint)
+            if hit is not None:
+                resolved[key] = hit
+                self.cache_hits += 1
+            else:
+                misses.append((key, cpoint))
+
+        if misses:
+            fresh = self._run(misses)
+            self.simulations_run += len(fresh)
+            for (key, cpoint), evaluation in zip(misses, fresh):
+                resolved[key] = evaluation
+                if self.store is not None:
+                    self.store.put(
+                        self._store_key(cpoint), self._to_record(evaluation)
+                    )
+        return [resolved[key] for key in keys]
+
+    def _run(
+        self, misses: List[Tuple[str, Dict[str, object]]]
+    ) -> List[Evaluation]:
+        tasks = [cpoint for _, cpoint in misses]
+        workers = self._workers
+        if workers is not None and workers > 1 and len(tasks) > 1:
+            max_workers = min(workers, len(tasks))
+            chunksize = math.ceil(len(tasks) / max_workers)
+            if self._kernel is not None:
+                initializer, initargs = _init_worker_spec, (
+                    self._kernel,
+                    self._width,
+                    self._tech,
+                    self._engine,
+                )
+            else:
+                initializer, initargs = _init_worker_summary, (
+                    self._summary,
+                    self._engine,
+                )
+            with ProcessPoolExecutor(
+                max_workers=max_workers,
+                initializer=initializer,
+                initargs=initargs,
+            ) as pool:
+                return list(pool.map(_worker_evaluate, tasks, chunksize=chunksize))
+        out = []
+        for cpoint in tasks:
+            summary, compiled = self._serial_context(cpoint)
+            out.append(
+                evaluate_design_point(summary, cpoint, compiled, self._engine)
+            )
+        return out

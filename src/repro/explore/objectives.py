@@ -1,0 +1,130 @@
+"""Exploration objectives: ADCR and friends, computed from evaluations.
+
+The paper's figure of merit is ADCR — Area-Delay to Correct Result
+(Section 5): chip area times execution time, the product a designer
+actually pays. Objectives here score an
+:class:`~repro.explore.evaluator.Evaluation` (simulation result plus area
+accounting); **lower is better** for every objective, and infeasible
+points score ``inf`` so any feasible point beats them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+
+class Objective(Protocol):
+    """Scores an evaluation; lower is better."""
+
+    name: str
+
+    def score(self, evaluation) -> float:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass(frozen=True)
+class AdcrObjective:
+    """Area-Delay to Correct Result: total chip area x execution time.
+
+    Units: macroblock-milliseconds. Total area counts the data region as
+    well as the factories — shrinking factories below the knee of
+    Figure 15 blows up delay faster than it saves area, which is exactly
+    the trade-off ADCR arbitrates.
+    """
+
+    name: str = "adcr"
+
+    def score(self, evaluation) -> float:
+        return evaluation.total_area * evaluation.result.makespan_ms
+
+
+@dataclass(frozen=True)
+class LatencyObjective:
+    """Execution time alone (milliseconds) — the speed-of-data chase."""
+
+    name: str = "latency"
+
+    def score(self, evaluation) -> float:
+        return evaluation.result.makespan_ms
+
+
+@dataclass(frozen=True)
+class AreaObjective:
+    """Total chip area alone (macroblocks).
+
+    Only meaningful under a latency constraint (wrap in
+    :class:`ConstrainedObjective`); unconstrained it just picks the
+    smallest factory budget sampled.
+    """
+
+    name: str = "area"
+
+    def score(self, evaluation) -> float:
+        return evaluation.total_area
+
+
+@dataclass(frozen=True)
+class ConstrainedObjective:
+    """A base objective with feasibility limits.
+
+    Points violating any limit score ``inf``: "smallest chip that finishes
+    within 50 ms" is ``ConstrainedObjective(AreaObjective(),
+    max_makespan_ms=50)``.
+    """
+
+    base: Objective
+    max_total_area: Optional[float] = None
+    max_makespan_ms: Optional[float] = None
+
+    @property
+    def name(self) -> str:
+        limits = []
+        if self.max_total_area is not None:
+            limits.append(f"area<={self.max_total_area:g}")
+        if self.max_makespan_ms is not None:
+            limits.append(f"latency<={self.max_makespan_ms:g}ms")
+        suffix = ",".join(limits) or "unconstrained"
+        return f"{self.base.name}[{suffix}]"
+
+    def score(self, evaluation) -> float:
+        if (
+            self.max_total_area is not None
+            and evaluation.total_area > self.max_total_area
+        ):
+            return math.inf
+        if (
+            self.max_makespan_ms is not None
+            and evaluation.result.makespan_ms > self.max_makespan_ms
+        ):
+            return math.inf
+        return self.base.score(evaluation)
+
+
+_OBJECTIVES = {
+    "adcr": AdcrObjective,
+    "latency": LatencyObjective,
+    "area": AreaObjective,
+}
+
+
+def objective_names():
+    return sorted(_OBJECTIVES)
+
+
+def get_objective(
+    name: str,
+    max_total_area: Optional[float] = None,
+    max_makespan_ms: Optional[float] = None,
+) -> Objective:
+    """Objective by CLI name, optionally wrapped with constraints."""
+    try:
+        base = _OBJECTIVES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown objective {name!r}; choose from {objective_names()}"
+        ) from None
+    if max_total_area is None and max_makespan_ms is None:
+        return base
+    return ConstrainedObjective(base, max_total_area, max_makespan_ms)

@@ -1,0 +1,140 @@
+"""Disk-backed, content-addressed store for exploration evaluations.
+
+Every simulator evaluation an exploration performs is persisted as one
+JSON file under ``<root>/explore/`` (default root: ``.repro_cache/`` in
+the working directory, overridable via the ``REPRO_CACHE_DIR``
+environment variable). The filename is the SHA-256 of the evaluation's
+*key* — a canonical JSON document naming everything that determines the
+result:
+
+* a schema version (bump :data:`SCHEMA_VERSION` to invalidate the world);
+* the kernel identity (name/width, or analysis fingerprint) and the
+  gate count of its decomposed circuit;
+* the full technology-parameter record, error rates included;
+* the simulation engine;
+* the resolved design point (defaults filled in, so ``{"arch": "cqla"}``
+  and an explicit default cache fraction share one entry).
+
+Re-running an exploration with a warm store therefore performs zero new
+simulator evaluations, and *refined* searches only pay for points they
+have never seen. Anything that changes the simulation — new tech
+params, a different kernel width, an engine fix that bumps the schema —
+lands on different digests, so stale entries are never returned; they
+are merely garbage, reclaimable with :meth:`ResultStore.clear`.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent explorations
+sharing a store never observe torn records; corrupt or foreign files are
+treated as misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+SCHEMA_VERSION = 1
+
+_DEFAULT_ROOT = ".repro_cache"
+
+
+def canonical_json(document: Dict) -> str:
+    """Deterministic JSON: sorted keys, no whitespace drift."""
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def key_digest(key: Dict) -> str:
+    """Content address of a key document."""
+    return hashlib.sha256(canonical_json(key).encode("utf-8")).hexdigest()
+
+
+def default_root() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR", _DEFAULT_ROOT))
+
+
+class ResultStore:
+    """One JSON file per evaluation, named by the key's SHA-256.
+
+    Args:
+        root: Cache root directory; evaluations live in ``root/explore``.
+            Defaults to ``.repro_cache`` (or ``$REPRO_CACHE_DIR``).
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else default_root()
+        self.directory = self.root / "explore"
+
+    # ------------------------------------------------------------------
+
+    def _path(self, key: Dict) -> Path:
+        return self.directory / f"{key_digest(key)}.json"
+
+    def get(self, key: Dict) -> Optional[Dict]:
+        """The stored record for ``key``, or None (corrupt files miss)."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(record, dict) or record.get("schema") != SCHEMA_VERSION:
+            return None
+        return record
+
+    def put(self, key: Dict, record: Dict) -> None:
+        """Persist ``record`` under ``key`` (atomic, last-writer-wins)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        document = dict(record)
+        document["schema"] = SCHEMA_VERSION
+        document["key"] = key
+        payload = json.dumps(document, sort_keys=True, indent=1)
+        # Suffix must not be ".json": in-flight temp files would match the
+        # "*.json" globs in __len__/records()/clear().
+        fd, temp = tempfile.mkstemp(
+            dir=self.directory, prefix=".inflight-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(temp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(temp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def records(self) -> Iterator[Dict]:
+        """All readable records (corrupt files skipped)."""
+        if not self.directory.is_dir():
+            return
+        for path in sorted(self.directory.glob("*.json")):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    record = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue
+            if isinstance(record, dict):
+                yield record
+
+    def clear(self) -> int:
+        """Delete every stored evaluation; returns the number removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -12,6 +12,7 @@ human-facing entry point:
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
@@ -41,15 +42,27 @@ def _register(key: str, paper_ref: str, description: str):
     return wrap
 
 
-def run_experiment(key: str) -> str:
-    """Run one registered experiment by key (e.g. "table3", "fig15")."""
+def run_experiment(key: str, **overrides) -> str:
+    """Run one registered experiment by key (e.g. "table3", "fig15").
+
+    ``overrides`` (e.g. ``workers=4``, ``engine="legacy"`` from the CLI)
+    are forwarded to runners whose signature accepts them; others ignore
+    them, so one flag set threads through heterogeneous experiments.
+    ``None`` values mean "use the runner's default" and are dropped.
+    """
     try:
         experiment = EXPERIMENTS[key]
     except KeyError:
         raise ValueError(
             f"unknown experiment {key!r}; available: {sorted(EXPERIMENTS)}"
         ) from None
-    return experiment.runner()
+    parameters = inspect.signature(experiment.runner).parameters
+    accepted = {
+        name: value
+        for name, value in overrides.items()
+        if name in parameters and value is not None
+    }
+    return experiment.runner(**accepted)
 
 
 # ----------------------------------------------------------------------
@@ -299,12 +312,12 @@ def _table9() -> str:
 
 
 @_register("fig8", "Figure 8", "Execution time vs steady ancilla throughput")
-def _fig8() -> str:
+def _fig8(workers: Optional[int] = None, engine: str = "compiled") -> str:
     from repro.arch.sweep import throughput_sweep
 
     curves = {}
     for ka in _kernels():
-        points = throughput_sweep(ka)
+        points = throughput_sweep(ka, workers=workers, engine=engine)
         curves[ka.name] = [
             (p.x / ka.zero_bandwidth_per_ms, p.makespan_us / points[-1].makespan_us)
             for p in points
@@ -321,13 +334,13 @@ def _fig8() -> str:
 
 
 @_register("fig15", "Figure 15", "Execution time vs factory area per arch")
-def _fig15() -> str:
+def _fig15(workers: Optional[int] = None, engine: str = "compiled") -> str:
     from repro.arch import ArchitectureKind
     from repro.arch.sweep import area_sweep
     from repro.kernels import analyze_kernel
 
     ka = analyze_kernel("qcla", 32)
-    curves_raw = area_sweep(ka)
+    curves_raw = area_sweep(ka, workers=workers, engine=engine)
     curves = {
         kind.value: [(p.x, p.makespan_us / 1000.0) for p in pts]
         for kind, pts in curves_raw.items()
@@ -367,3 +380,40 @@ def _fig16() -> str:
         rows,
         title="Figure 16 / Section 5.3: Qalypso tiles vs CQLA at equal factory area",
     )
+
+
+@_register(
+    "qalypso-pick",
+    "Figs. 15-16",
+    "ADCR-optimal design point via design-space exploration",
+)
+def _qalypso_pick(workers: Optional[int] = None, engine: str = "compiled") -> str:
+    """Reproduce the paper's Qalypso pick with the exploration engine.
+
+    Runs a grid exploration of the Figure 15 space (architecture kind x
+    factory-area budget) for the 32-bit QCLA and reports the ADCR-optimal
+    point — which lands on the fully-multiplexed (Qalypso) organization —
+    together with per-architecture winners and the area-delay Pareto
+    front.
+    """
+    from repro.explore import (
+        AdcrObjective,
+        Evaluator,
+        GridStrategy,
+        architecture_space,
+        explore,
+        format_exploration,
+    )
+    from repro.kernels import analyze_kernel
+
+    ka = analyze_kernel("qcla", 32)
+    space = architecture_space(ka)
+    evaluator = Evaluator(analysis=ka, workers=workers, engine=engine)
+    result = explore(
+        space,
+        AdcrObjective(),
+        GridStrategy(space),
+        evaluator=evaluator,
+        budget=space.grid_size(),
+    )
+    return format_exploration(result)

@@ -1,0 +1,46 @@
+"""Smoke tests: every example script runs end to end.
+
+Each example honors the ``REPRO_SMOKE=1`` hook, shrinking kernel widths
+and Monte Carlo trial counts so the whole gallery executes in-process in
+seconds. The scripts run under ``runpy`` with ``__name__ ==
+"__main__"``, exactly as ``python examples/<name>.py`` would, in a
+temporary working directory so result-store writes stay out of the repo.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_example_gallery_present():
+    names = {path.name for path in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "adder_at_speed_of_data.py",
+        "architecture_shootout.py",
+        "shor_kernel_planning.py",
+        "technology_whatif.py",
+        "explore_qalypso.py",
+    } <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, monkeypatch, tmp_path, capsys):
+    monkeypatch.setenv("REPRO_SMOKE", "1")
+    monkeypatch.chdir(tmp_path)
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.name} printed nothing"
+
+
+def test_smoke_hook_reduces_width(monkeypatch, tmp_path, capsys):
+    """The REPRO_SMOKE hook actually bites: smoke runs use 8-bit kernels."""
+    monkeypatch.setenv("REPRO_SMOKE", "1")
+    monkeypatch.chdir(tmp_path)
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "8-Bit QCLA" in out

@@ -1,0 +1,79 @@
+"""Unit tests for exploration objectives."""
+
+import math
+
+import pytest
+
+from repro.arch.simulator import SimulationResult
+from repro.explore import (
+    AdcrObjective,
+    AreaObjective,
+    ConstrainedObjective,
+    LatencyObjective,
+    get_objective,
+    objective_names,
+)
+from repro.explore.evaluator import Evaluation
+
+
+def make_evaluation(makespan_us=2000.0, factory=300.0, data=100.0):
+    return Evaluation(
+        point=(("arch", "qla"), ("factory_area", factory)),
+        result=SimulationResult(
+            makespan_us=makespan_us,
+            gates=10,
+            zero_ancillae_consumed=20,
+            pi8_ancillae_consumed=4,
+        ),
+        factory_area=factory,
+        data_area=data,
+        total_area=factory + data,
+    )
+
+
+class TestObjectives:
+    def test_adcr_is_area_times_delay(self):
+        e = make_evaluation(makespan_us=2000.0, factory=300.0, data=100.0)
+        assert AdcrObjective().score(e) == pytest.approx(400.0 * 2.0)
+
+    def test_latency(self):
+        assert LatencyObjective().score(make_evaluation(1500.0)) == pytest.approx(1.5)
+
+    def test_area(self):
+        assert AreaObjective().score(make_evaluation(factory=50.0, data=10.0)) == 60.0
+
+    def test_constrained_feasible_passes_through(self):
+        obj = ConstrainedObjective(AdcrObjective(), max_total_area=1000.0)
+        e = make_evaluation()
+        assert obj.score(e) == AdcrObjective().score(e)
+
+    def test_constrained_area_violation_is_inf(self):
+        obj = ConstrainedObjective(AdcrObjective(), max_total_area=100.0)
+        assert obj.score(make_evaluation(factory=300.0)) == math.inf
+
+    def test_constrained_latency_violation_is_inf(self):
+        obj = ConstrainedObjective(LatencyObjective(), max_makespan_ms=1.0)
+        assert obj.score(make_evaluation(makespan_us=2000.0)) == math.inf
+
+    def test_constrained_name_mentions_limits(self):
+        obj = ConstrainedObjective(
+            AdcrObjective(), max_total_area=100.0, max_makespan_ms=5.0
+        )
+        assert "area<=100" in obj.name and "latency<=5ms" in obj.name
+
+
+class TestRegistry:
+    def test_names(self):
+        assert objective_names() == ["adcr", "area", "latency"]
+
+    def test_lookup(self):
+        assert get_objective("adcr").name == "adcr"
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown objective"):
+            get_objective("speed")
+
+    def test_constraints_wrap(self):
+        obj = get_objective("area", max_makespan_ms=50.0)
+        assert isinstance(obj, ConstrainedObjective)
+        assert obj.base.name == "area"

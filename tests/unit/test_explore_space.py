@@ -1,0 +1,152 @@
+"""Unit tests for repro.explore.space: dimensions and DesignSpace."""
+
+import random
+
+import pytest
+
+from repro.arch import ArchitectureKind
+from repro.explore import (
+    Categorical,
+    Continuous,
+    DesignSpace,
+    Integer,
+    architecture_space,
+    throughput_space,
+)
+
+
+class TestContinuous:
+    def test_explicit_values_grid(self):
+        dim = Continuous("x", values=(1.0, 2.0, 4.0))
+        assert dim.grid() == [1.0, 2.0, 4.0]
+        assert dim.lo == 1.0 and dim.hi == 4.0
+
+    def test_subsampled_grid_keeps_endpoints(self):
+        dim = Continuous("x", values=tuple(float(v) for v in range(1, 15)))
+        coarse = dim.grid(3)
+        assert coarse[0] == 1.0 and coarse[-1] == 14.0
+        assert len(coarse) == 3
+
+    def test_log_grid_geometric(self):
+        dim = Continuous("x", lo=1.0, hi=100.0, num=3)
+        assert dim.grid() == pytest.approx([1.0, 10.0, 100.0])
+
+    def test_linear_grid(self):
+        dim = Continuous("x", lo=0.0, hi=10.0, log=False, num=3)
+        assert dim.grid() == pytest.approx([0.0, 5.0, 10.0])
+
+    def test_log_requires_positive(self):
+        with pytest.raises(ValueError):
+            Continuous("x", lo=0.0, hi=1.0)
+
+    def test_bounds_required(self):
+        with pytest.raises(ValueError):
+            Continuous("x")
+
+    def test_sample_in_bounds(self):
+        dim = Continuous("x", lo=2.0, hi=32.0)
+        rng = random.Random(0)
+        for _ in range(50):
+            assert 2.0 <= dim.sample(rng) <= 32.0
+
+    def test_neighbor_clipped(self):
+        dim = Continuous("x", lo=1.0, hi=10.0)
+        rng = random.Random(1)
+        for _ in range(50):
+            assert 1.0 <= dim.neighbor(10.0, rng, 0.5) <= 10.0
+
+    def test_neighbor_deterministic(self):
+        dim = Continuous("x", lo=1.0, hi=10.0)
+        a = dim.neighbor(5.0, random.Random(7), 0.2)
+        b = dim.neighbor(5.0, random.Random(7), 0.2)
+        assert a == b
+
+
+class TestIntegerAndCategorical:
+    def test_integer_grid(self):
+        assert Integer("p", 1, 4).grid() == [1, 2, 3, 4]
+
+    def test_integer_neighbor_in_bounds(self):
+        dim = Integer("p", 1, 4)
+        rng = random.Random(3)
+        for _ in range(50):
+            assert 1 <= dim.neighbor(2, rng, 0.5) <= 4
+
+    def test_categorical_grid_is_choices(self):
+        dim = Categorical("arch", ("a", "b"))
+        assert dim.grid() == ["a", "b"]
+
+    def test_categorical_neighbor_fixed(self):
+        dim = Categorical("arch", ("a", "b"))
+        assert dim.neighbor("a", random.Random(0), 1.0) == "a"
+
+    def test_empty_choices_rejected(self):
+        with pytest.raises(ValueError):
+            Categorical("arch", ())
+
+
+class TestDesignSpace:
+    def space(self):
+        return DesignSpace(
+            (
+                Categorical("arch", ("qla", "cqla")),
+                Continuous("factory_area", values=(10.0, 100.0, 1000.0)),
+            )
+        )
+
+    def test_grid_is_cartesian_product_in_order(self):
+        points = self.space().grid_points()
+        assert len(points) == 6
+        assert points[0] == {"arch": "qla", "factory_area": 10.0}
+        assert points[3] == {"arch": "cqla", "factory_area": 10.0}
+
+    def test_grid_size(self):
+        assert self.space().grid_size() == 6
+        assert self.space().grid_size(1) == 2
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            DesignSpace((Integer("a", 0, 1), Integer("a", 0, 1)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DesignSpace(())
+
+    def test_sample_has_all_dimensions(self):
+        point = self.space().sample(random.Random(0))
+        assert set(point) == {"arch", "factory_area"}
+
+    def test_neighbor_keeps_categorical(self):
+        space = self.space()
+        point = {"arch": "cqla", "factory_area": 100.0}
+        moved = space.neighbor(point, random.Random(0), 0.3)
+        assert moved["arch"] == "cqla"
+        assert 10.0 <= moved["factory_area"] <= 1000.0
+
+    def test_dimension_lookup(self):
+        assert self.space().dimension("arch").name == "arch"
+        with pytest.raises(KeyError):
+            self.space().dimension("nope")
+
+
+class TestStandardSpaces:
+    def test_architecture_space_mirrors_area_sweep_grid(self, qrca8):
+        import numpy as np
+
+        from repro.arch.provisioning import area_breakdown
+
+        space = architecture_space(qrca8)
+        matched = area_breakdown(qrca8).factory_area
+        expected = np.geomspace(matched / 8.0, matched * 512.0, 14)
+        area_dim = space.dimension("factory_area")
+        assert list(area_dim.values) == [float(a) for a in expected]
+        assert space.grid_size() == 3 * 14
+        kinds = [k.value for k in ArchitectureKind]
+        assert list(space.dimension("arch").choices) == kinds
+
+    def test_throughput_space_defaults(self, qrca8):
+        space = throughput_space(qrca8)
+        assert space.grid_size() == 17
+        ratio_dim = space.dimension("pi8_ratio")
+        expected = qrca8.pi8_bandwidth_per_ms / qrca8.zero_bandwidth_per_ms
+        assert ratio_dim.values == (pytest.approx(expected),)

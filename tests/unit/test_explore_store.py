@@ -1,0 +1,104 @@
+"""Unit tests for the content-addressed result store."""
+
+import json
+
+from repro.explore import ResultStore, key_digest
+from repro.explore.store import SCHEMA_VERSION, canonical_json
+
+
+KEY = {"kernel": "qrca", "width": 8, "point": {"arch": "qla", "factory_area": 10.0}}
+
+
+class TestKeyDigest:
+    def test_stable_across_key_order(self):
+        a = {"x": 1, "y": 2}
+        b = {"y": 2, "x": 1}
+        assert key_digest(a) == key_digest(b)
+
+    def test_distinct_keys_distinct_digests(self):
+        assert key_digest({"x": 1}) != key_digest({"x": 2})
+
+    def test_canonical_json_compact_sorted(self):
+        assert canonical_json({"b": 1, "a": [1.5, "s"]}) == '{"a":[1.5,"s"],"b":1}'
+
+
+class TestResultStore:
+    def test_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, {"result": {"makespan_us": 1.0}})
+        record = store.get(KEY)
+        assert record["result"] == {"makespan_us": 1.0}
+        assert record["schema"] == SCHEMA_VERSION
+        assert record["key"] == KEY
+
+    def test_miss_returns_none(self, tmp_path):
+        assert ResultStore(tmp_path).get(KEY) is None
+
+    def test_lives_under_explore_subdir(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, {})
+        files = list((tmp_path / "explore").glob("*.json"))
+        assert len(files) == 1
+        assert files[0].stem == key_digest(KEY)
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, {"result": {}})
+        path = store._path(KEY)
+        path.write_text("{ not json")
+        assert store.get(KEY) is None
+
+    def test_wrong_schema_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, {"result": {}})
+        path = store._path(KEY)
+        record = json.loads(path.read_text())
+        record["schema"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(record))
+        assert store.get(KEY) is None
+
+    def test_len_and_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert len(store) == 0
+        store.put(KEY, {})
+        store.put({**KEY, "width": 16}, {})
+        assert len(store) == 2
+        assert store.clear() == 2
+        assert len(store) == 0
+        assert store.clear() == 0
+
+    def test_records_iteration_skips_corrupt(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, {"tag": "good"})
+        (tmp_path / "explore" / "junk.json").write_text("nope")
+        records = list(store.records())
+        assert len(records) == 1
+        assert records[0]["tag"] == "good"
+
+    def test_put_overwrites(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, {"tag": 1})
+        store.put(KEY, {"tag": 2})
+        assert store.get(KEY)["tag"] == 2
+        assert len(store) == 1
+
+    def test_inflight_temp_files_invisible(self, tmp_path):
+        """Crash-leftover temp files must not pollute len/records/clear."""
+        store = ResultStore(tmp_path)
+        store.put(KEY, {"tag": "good"})
+        (tmp_path / "explore" / ".inflight-dead.tmp").write_text("{ torn")
+        assert len(store) == 1
+        assert len(list(store.records())) == 1
+        assert store.clear() == 1
+
+    def test_put_leaves_no_temp_files(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, {})
+        names = [p.name for p in (tmp_path / "explore").iterdir()]
+        assert names == [f"{key_digest(KEY)}.json"]
+
+    def test_env_var_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        store = ResultStore()
+        store.put(KEY, {})
+        assert (tmp_path / "custom" / "explore").is_dir()
