@@ -1,0 +1,62 @@
+"""Benchmark trajectory recording: append engine numbers to BENCH_*.json.
+
+Perf benchmarks call :func:`record` with whatever throughput numbers they
+measured; the conftest ``pytest_sessionfinish`` hook flushes everything
+collected during the session as one batch appended to
+``BENCH_protocols.json`` at the repo root. The file is a growing JSON
+list — one entry per recorded measurement, stamped with UTC time and the
+machine's Python — so future perf PRs can diff their numbers against the
+trajectory instead of re-deriving a baseline. Set ``REPRO_BENCH_RECORD=0``
+to disable flushing (CI smoke runs do, to keep workspaces clean).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import List, Optional
+
+#: Default record file, at the repo root next to README.md.
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_protocols.json"
+
+_pending: List[dict] = []
+
+
+def record(name: str, **metrics) -> dict:
+    """Queue one measurement for the end-of-session flush."""
+    entry = {
+        "name": name,
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "metrics": metrics,
+    }
+    _pending.append(entry)
+    return entry
+
+
+def flush(path: Optional[Path] = None) -> Optional[Path]:
+    """Append all queued measurements to the record file.
+
+    Returns the path written, or None when nothing was queued. Corrupt
+    or missing history starts a fresh list rather than failing the
+    benchmark session.
+    """
+    global _pending
+    if not _pending:
+        return None
+    target = Path(path) if path is not None else BENCH_PATH
+    history: List[dict] = []
+    if target.exists():
+        try:
+            loaded = json.loads(target.read_text())
+            if isinstance(loaded, list):
+                history = loaded
+        except ValueError:
+            print(f"warning: {target} was corrupt; starting fresh", file=sys.stderr)
+    history.extend(_pending)
+    target.write_text(json.dumps(history, indent=2) + "\n")
+    _pending = []
+    return target

@@ -12,9 +12,13 @@ Shape targets asserted here (measured values recorded in EXPERIMENTS.md):
   basic and correct-only ("correction alone loses to verification alone");
 * the verification discard rate reproduces ~0.2%.
 
-Uses the vectorized engine (validated against the scalar one in
+Uses the batched engine (the Figure 4 drivers in repro.error.vectorized
+are thin wrappers over the general batched protocol engine in
+repro.error.batched, validated against the scalar reference in
 tests/unit/test_vectorized.py), so the default 400k trials run in
-seconds; set REPRO_FIG4_TRIALS to rescale.
+seconds; set REPRO_FIG4_TRIALS to rescale. The same engine evaluates
+cat-state prep and the pi/8 ancilla pipeline — see
+test_bench_protocols.py for their throughput trajectory.
 """
 
 import os
@@ -42,12 +46,14 @@ def test_bench_fig4(benchmark):
     correct = reports[PrepStrategy.CORRECT_ONLY]
     vc = reports[PrepStrategy.VERIFY_AND_CORRECT]
 
-    # Verification failure rate ~0.2% (statistically solid at any budget).
-    assert 0.0005 < verify.discard_rate < 0.008
+    # Verification failure rate ~0.2%.
+    assert verify.discard_rate < 0.008
     if TRIALS < 20000:
-        # Quick runs cannot resolve the e-4/e-5 rates; the full
-        # assertions need the default (or larger) trial budget.
+        # Quick runs (the CI smoke) cannot resolve the e-4/e-5 rates —
+        # or even guarantee two discard events — so the lower bound and
+        # the rate assertions need the default (or larger) budget.
         return
+    assert verify.discard_rate > 0.0005
     # Same decade as the paper (one order of magnitude tolerance).
     assert 1.8e-4 / 10 < basic.error_rate < 1.8e-3 * 10
     assert 1.1e-4 < correct.error_rate < 1.1e-2

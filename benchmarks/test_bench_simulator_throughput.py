@@ -11,10 +11,12 @@ only correctness matters; the workloads themselves are sized to keep
 tier-1 fast.
 """
 
+import os
 import time
 
 import pytest
 
+import record as bench_record
 from repro.arch.provisioning import area_breakdown
 from repro.arch.simulator import DataflowSimulator
 from repro.arch.supply import PI8, ZERO, SteadyRateSupply
@@ -22,6 +24,10 @@ from repro.arch.sweep import area_sweep
 from repro.circuits.compiled import compile_circuit
 
 pytestmark = pytest.mark.perf
+
+#: CI smoke mode: correctness assertions only, no speedup-ratio gates
+#: (smoke sizes shrink the kernels, where fixed overheads dominate).
+PERF_SMOKE = os.environ.get("REPRO_PERF_SMOKE") == "1"
 
 #: Matched-demand multiples for the speedup measurement (a Figure 15
 #: slice: 6 areas x 3 architectures = 18 simulations per engine).
@@ -65,13 +71,20 @@ def test_bench_single_point_gates_per_second(benchmark, qcla32):
     gates_per_second = result.gates / elapsed
     benchmark.extra_info["gates_per_second"] = gates_per_second
     benchmark.extra_info["seed_gates_per_second"] = result.gates / legacy_elapsed
+    bench_record.record(
+        "dataflow_single_point",
+        gates=result.gates,
+        gates_per_second=gates_per_second,
+        seed_gates_per_second=result.gates / legacy_elapsed,
+    )
     print()
     print(f"  compiled engine: {gates_per_second:,.0f} gates/s "
           f"({result.gates} gates in {elapsed * 1e3:.2f} ms; "
           f"seed loop {legacy_elapsed * 1e3:.2f} ms)")
     # Relative, so machine speed and load cancel out: the compiled engine
     # measures ~10x here and must stay clearly ahead of the seed loop.
-    assert elapsed * 3 < legacy_elapsed
+    if not PERF_SMOKE:
+        assert elapsed * 3 < legacy_elapsed
 
 
 def test_bench_area_sweep_speedup_vs_seed(benchmark, qcla32):
@@ -92,10 +105,17 @@ def test_bench_area_sweep_speedup_vs_seed(benchmark, qcla32):
     benchmark.extra_info["seed_sweep_ms"] = legacy_elapsed * 1e3
     benchmark.extra_info["compiled_sweep_ms"] = compiled_elapsed * 1e3
     benchmark.extra_info["speedup_vs_seed"] = speedup
+    bench_record.record(
+        "dataflow_area_sweep",
+        seed_sweep_ms=legacy_elapsed * 1e3,
+        compiled_sweep_ms=compiled_elapsed * 1e3,
+        speedup_vs_seed=speedup,
+    )
     print()
     print(f"  area sweep (18 points): seed {legacy_elapsed * 1e3:.1f} ms, "
           f"compiled {compiled_elapsed * 1e3:.1f} ms -> {speedup:.1f}x")
-    assert speedup >= 5.0
+    if not PERF_SMOKE:
+        assert speedup >= 5.0
 
 
 def test_bench_full_default_area_sweep(benchmark, qft32):

@@ -14,7 +14,11 @@ Implements Section 2 of the paper:
   pi/2^k rotations and the recursive exact construction of Figure 6.
 """
 
-from repro.ancilla.cat import cat_prep_circuit
+from repro.ancilla.cat import (
+    cat_prep_circuit,
+    evaluate_cat_prep,
+    evaluate_cat_prep_batched,
+)
 from repro.ancilla.evaluation import (
     PrepStrategy,
     StrategyReport,
@@ -29,6 +33,8 @@ from repro.ancilla.rotations import (
 )
 from repro.ancilla.t_ancilla import (
     PI8_STAGE_NAMES,
+    evaluate_pi8_ancilla,
+    evaluate_pi8_ancilla_batched,
     pi8_ancilla_circuit,
     pi8_consumption_circuit,
 )
@@ -48,6 +54,10 @@ __all__ = [
     "basic_zero_circuit",
     "cat_prep_circuit",
     "correct_only_circuit",
+    "evaluate_cat_prep",
+    "evaluate_cat_prep_batched",
+    "evaluate_pi8_ancilla",
+    "evaluate_pi8_ancilla_batched",
     "evaluate_strategies",
     "evaluate_strategy",
     "evaluate_strategy_vectorized",

@@ -11,7 +11,12 @@ paper's Cat Prep functional unit performs "two CX's in succession" for the
 
 from __future__ import annotations
 
+from typing import Optional
+
+import numpy as np
+
 from repro.circuits import Circuit
+from repro.tech import ErrorRates
 
 
 def cat_prep_circuit(num_qubits: int, include_prep: bool = True) -> Circuit:
@@ -39,3 +44,105 @@ def cat_prep_cx_count(num_qubits: int) -> int:
     if num_qubits < 2:
         raise ValueError(f"a cat state needs at least 2 qubits, got {num_qubits}")
     return num_qubits - 1
+
+
+# ----------------------------------------------------------------------
+# Monte Carlo grading of cat-state preparation.
+#
+# A cat state drives a transversal check: each cat qubit touches one data
+# qubit. A *single* X (bit-flip) residual therefore injects at most one
+# correctable data error — harmless — while two or more X flips are a
+# correlated error that defeats a distance-3 code. Z residuals flip the
+# measured operator outcome when (and only when) their overall parity is
+# odd, so odd-Z-parity outputs report the wrong syndrome. Both engines
+# grade with exactly this rule, so their rates must agree statistically.
+
+
+def _grade_cat_bad_counts(x_weight: np.ndarray, z_parity: np.ndarray) -> np.ndarray:
+    """Bad mask from per-trial X weight and Z parity columns."""
+    return (x_weight >= 2) | (z_parity == 1)
+
+
+def evaluate_cat_prep(
+    num_qubits: int,
+    trials: int = 20000,
+    seed: int = 0,
+    errors: Optional[ErrorRates] = None,
+):
+    """Scalar Monte Carlo grading of the chain cat-state preparation.
+
+    One trial prepares a ``num_qubits`` cat under stochastic gate and
+    movement faults and grades the residual: bad when it carries two or
+    more bit flips (correlated data corruption) or odd phase-flip parity
+    (wrong measured outcome). Reference implementation for the batched
+    driver; runs one trial at a time on the scalar Pauli-frame engine.
+    """
+    from repro.ancilla.evaluation import MOVES_PER_QUBIT_PER_GATE
+    from repro.error.montecarlo import MonteCarloSimulator, TrialOutcome
+    from repro.error.pauli import PauliFrame
+
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    circuit = cat_prep_circuit(num_qubits, include_prep=True)
+    sim = MonteCarloSimulator(errors=errors, seed=seed)
+
+    def trial(s: MonteCarloSimulator) -> TrialOutcome:
+        frame = PauliFrame(num_qubits)
+        s.run_circuit(
+            circuit,
+            frame,
+            moves_per_qubit_per_gate=MOVES_PER_QUBIT_PER_GATE,
+        )
+        x_weight = int(frame.x.sum())
+        z_parity = int(frame.z.sum()) % 2
+        if x_weight >= 2 or z_parity == 1:
+            return TrialOutcome.BAD
+        return TrialOutcome.GOOD
+
+    return sim.estimate(trial, trials)
+
+
+def evaluate_cat_prep_batched(
+    num_qubits: int,
+    trials: int = 200_000,
+    seed: int = 0,
+    errors: Optional[ErrorRates] = None,
+):
+    """Batched counterpart of :func:`evaluate_cat_prep`.
+
+    Lowers the preparation circuit once and runs all trials as
+    ``(trials, num_qubits)`` frame matrices on the general batched
+    engine; grading is two column reductions. Statistically equivalent
+    to the scalar driver (checked by the test suite), roughly 100x
+    faster.
+    """
+    from repro.ancilla.evaluation import MOVES_PER_QUBIT_PER_GATE
+    from repro.error.batched import BatchFrames, BatchedSimulator
+    from repro.error.montecarlo import MonteCarloResult
+
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    circuit = cat_prep_circuit(num_qubits, include_prep=True)
+    sim = BatchedSimulator(errors=errors, seed=seed)
+    total = MonteCarloResult()
+    remaining = trials
+    while remaining > 0:
+        batch = min(remaining, 200_000)
+        frames = BatchFrames(batch, num_qubits)
+        active = np.ones(batch, dtype=bool)
+        sim.run_circuit(
+            circuit,
+            frames,
+            active=active,
+            moves_per_qubit_per_gate=MOVES_PER_QUBIT_PER_GATE,
+        )
+        x_weight = frames.x.sum(axis=1)
+        z_parity = frames.z.sum(axis=1) % 2
+        bad = _grade_cat_bad_counts(x_weight, z_parity)
+        total = total.merge(
+            MonteCarloResult(
+                trials=batch, good=int((~bad).sum()), bad=int(bad.sum())
+            )
+        )
+        remaining -= batch
+    return total

@@ -37,10 +37,9 @@ from repro.circuits.gate import PI8_CONSUMING_GATES, GateType
 from repro.circuits.latency import LogicalLatencyModel
 from repro.tech import TechnologyParams
 
-#: Gate-type interning table: enum-definition order. No simulator path
-#: consumes the codes yet — they exist for the further compile-to-arrays
-#: work ROADMAP.md plans (schedule/critical-path lowering), which needs
-#: the gate identity without the Gate object.
+#: Gate-type interning table: enum-definition order. Consumed by the
+#: schedule/critical-path lowering (:func:`dataflow_metadata`), which
+#: needs the gate identity without the Gate object.
 GATE_CODES: Dict[GateType, int] = {t: i for i, t in enumerate(GateType)}
 
 #: Movement classes (see ``move_kind``).
@@ -174,6 +173,118 @@ def _compile(circuit: Circuit, tech: TechnologyParams) -> CompiledCircuit:
         two_qubit_moves=move_kind.count(MOVE_TWO_QUBIT),
         source_ref=weakref.ref(circuit),
     )
+
+
+@dataclass(frozen=True, eq=False)
+class CompiledDataflow:
+    """Dependency structure of a compiled circuit, in flat array form.
+
+    The dependency rule matches :class:`repro.circuits.dag.CircuitDag`
+    exactly: two gates touching the same qubit are ordered, and a
+    conditioned gate depends on the measurement writing its condition
+    bit. Per-gate predecessor lists are stored as a CSR pair
+    (``pred_offsets``/``pred_indices``, ascending within each gate), plus
+    a level grouping that lets ASAP-style longest-path sweeps run as one
+    vectorized segment-reduction per dependency level instead of a
+    per-gate Python walk over ``ScheduleEntry`` objects.
+
+    Attributes:
+        pred_offsets: ``pred_offsets[i]:pred_offsets[i+1]`` slices
+            ``pred_indices`` to gate ``i``'s predecessors (ascending).
+        pred_indices: Concatenated predecessor gate indices.
+        num_levels: Number of dependency levels (circuit unit-depth).
+        level_order: Gate indices grouped by level, program order within
+            a level. All predecessors of a gate sit in earlier levels.
+        level_offsets: ``level_order[level_offsets[L]:level_offsets[L+1]]``
+            are the gates of level ``L``.
+        level_pred_seg: Segment starts into ``level_pred_flat`` aligned
+            with ``level_order`` positions (length ``num_gates + 1``).
+        level_pred_flat: ``pred_indices`` reordered to follow
+            ``level_order``, so one ``np.maximum.reduceat`` per level
+            computes every gate-of-that-level's start time.
+    """
+
+    pred_offsets: np.ndarray
+    pred_indices: np.ndarray
+    num_levels: int
+    level_order: np.ndarray
+    level_offsets: np.ndarray
+    level_pred_seg: np.ndarray
+    level_pred_flat: np.ndarray
+
+
+def _build_dataflow(compiled: CompiledCircuit) -> CompiledDataflow:
+    n = compiled.num_gates
+    q0, q1, q2 = compiled.q0, compiled.q1, compiled.q2
+    cond_id, result_id = compiled.cond_id, compiled.result_id
+    last_on_qubit = [-1] * compiled.num_qubits
+    bit_writer = [-1] * compiled.num_bits
+    preds: List[List[int]] = [[] for _ in range(n)]
+    level = [0] * n
+    for i in range(n):
+        deps = set()
+        for q in (q0[i], q1[i], q2[i]):
+            if q < 0:
+                continue
+            j = last_on_qubit[q]
+            if j >= 0:
+                deps.add(j)
+            last_on_qubit[q] = i
+        c = cond_id[i]
+        if c >= 0 and bit_writer[c] >= 0:
+            deps.add(bit_writer[c])
+        r = result_id[i]
+        if r >= 0:
+            bit_writer[r] = i
+        ordered = sorted(deps)
+        preds[i] = ordered
+        if ordered:
+            level[i] = max(level[p] for p in ordered) + 1
+    counts = np.array([len(p) for p in preds], dtype=np.intp)
+    pred_offsets = np.zeros(n + 1, dtype=np.intp)
+    np.cumsum(counts, out=pred_offsets[1:])
+    pred_indices = np.array(
+        [p for row in preds for p in row], dtype=np.intp
+    )
+    level_arr = np.array(level, dtype=np.intp)
+    num_levels = int(level_arr.max()) + 1 if n else 0
+    order = np.argsort(level_arr, kind="stable").astype(np.intp)
+    level_offsets = np.zeros(num_levels + 1, dtype=np.intp)
+    np.cumsum(np.bincount(level_arr, minlength=num_levels), out=level_offsets[1:])
+    seg = np.zeros(n + 1, dtype=np.intp)
+    np.cumsum(counts[order], out=seg[1:])
+    flat = np.concatenate(
+        [np.asarray(preds[g], dtype=np.intp) for g in order]
+    ) if pred_indices.size else np.empty(0, dtype=np.intp)
+    return CompiledDataflow(
+        pred_offsets=pred_offsets,
+        pred_indices=pred_indices,
+        num_levels=num_levels,
+        level_order=order,
+        level_offsets=level_offsets,
+        level_pred_seg=seg,
+        level_pred_flat=flat,
+    )
+
+
+_DATAFLOW_CACHE: "weakref.WeakKeyDictionary[CompiledCircuit, CompiledDataflow]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def dataflow_metadata(compiled: CompiledCircuit) -> CompiledDataflow:
+    """Dependency arrays for ``compiled``, memoized per compiled form.
+
+    Built lazily because only schedule-style consumers (kernel analysis)
+    need it; the dataflow simulator's sequential replay does not. The
+    build is one pass over the already-flattened operand arrays — no
+    ``Gate`` objects are touched.
+    """
+    df = _DATAFLOW_CACHE.get(compiled)
+    if df is None:
+        df = _build_dataflow(compiled)
+        _DATAFLOW_CACHE[compiled] = df
+    return df
 
 
 _CACHE: "weakref.WeakKeyDictionary[Circuit, Dict[tuple, CompiledCircuit]]" = (

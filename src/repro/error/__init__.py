@@ -11,6 +11,13 @@ that machinery as a Pauli-frame simulator:
 * :mod:`repro.error.montecarlo` — stochastic injection and trial running.
 """
 
+from repro.error.batched import (
+    BatchFrames,
+    BatchedSimulator,
+    CompiledProtocol,
+    ProtocolLoweringError,
+    compile_protocol,
+)
 from repro.error.montecarlo import (
     MonteCarloResult,
     MonteCarloSimulator,
@@ -20,9 +27,14 @@ from repro.error.pauli import PauliFrame
 from repro.error.propagation import propagate_gate
 
 __all__ = [
+    "BatchFrames",
+    "BatchedSimulator",
+    "CompiledProtocol",
     "MonteCarloResult",
     "MonteCarloSimulator",
     "PauliFrame",
+    "ProtocolLoweringError",
     "TrialOutcome",
+    "compile_protocol",
     "propagate_gate",
 ]

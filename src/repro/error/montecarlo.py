@@ -220,15 +220,14 @@ class MonteCarloSimulator:
         # The mapped gate list is a pure function of (circuit, map) —
         # built once and replayed for every trial, not per gate per trial.
         gates = circuit if not qm else _mapped_gates(circuit, qm)
+        move_ops = int(round(moves_per_qubit_per_gate))
         flips: Dict[str, int] = {}
         for mapped in gates:
             if mapped.condition is not None and not flips.get(mapped.condition, 0):
                 continue
-            if moves_per_qubit_per_gate:
+            if move_ops:
                 for q in mapped.qubits:
-                    self.inject_movement_error(
-                        frame, q, int(round(moves_per_qubit_per_gate))
-                    )
+                    self.inject_movement_error(frame, q, move_ops)
             propagate_gate(frame, mapped)
             if mapped.is_measurement:
                 flipped = measurement_flipped(frame, mapped)

@@ -1,15 +1,22 @@
-"""Vectorized Monte Carlo engine for the Figure 4 protocols.
+"""Vectorized Monte Carlo drivers for the Figure 4 protocols.
 
-Runs many preparation trials simultaneously as numpy bit arrays: frames
-are (trials, qubits) uint8 X/Z matrices, gates apply as column operations,
-and error injection draws whole columns of faults at once. Semantics are
-identical to the scalar protocols in :mod:`repro.ancilla.evaluation`
-(same circuits, same idealized-verification and measured-bit-decode
-rules, same X/Y-only prep faults); only the RNG stream differs, so the
-two engines agree statistically, which the test suite checks.
+Historically this module carried its own hand-specialized batch kernels
+for the four zero-prep strategies. Those kernels are now thin wrappers
+over the general batched protocol engine in :mod:`repro.error.batched`:
+each sub-circuit (encoder, cat prep, verify check, bit/phase correct) is
+lowered once by :func:`~repro.error.batched.compile_protocol` and
+executed over ``(trials, qubits)`` frames by
+:class:`~repro.error.batched.BatchedSimulator`, with only the
+Figure-4-specific protocol logic — retry loops, idealized verification,
+syndrome decode of the measured helper bits, output grading — kept here.
 
-Speedup over the scalar engine is roughly 100x, making million-trial
-estimates of the verify-and-correct strategy's ~1e-5 rate practical.
+Semantics are identical to the scalar protocols in
+:mod:`repro.ancilla.evaluation` (same circuits, same idealized
+verification and measured-bit decode rules, same X/Y-only prep faults);
+only the RNG stream differs, so the two engines agree statistically,
+which the test suite checks. Speedup over the scalar engine is roughly
+100x, making million-trial estimates of the verify-and-correct
+strategy's ~1e-5 rate practical.
 """
 
 from __future__ import annotations
@@ -29,167 +36,59 @@ from repro.ancilla.evaluation import (
     _VERIFY_CHECK,
 )
 from repro.circuits import Circuit
-from repro.circuits.gate import GateType
-from repro.codes.steane import HAMMING_PARITY_CHECK, steane_zero_prep_circuit
+from repro.codes.steane import steane_zero_prep_circuit
+from repro.error.batched import (
+    BatchFrames,
+    BatchedSimulator,
+    STEANE_DECODE,
+    STEANE_H_T,
+    steane_grade_bad,
+    steane_syndrome_keys,
+)
 from repro.error.montecarlo import MonteCarloResult
 from repro.tech import ErrorRates
 
-# The fifteen non-identity two-qubit Paulis as (xa, za, xb, zb) bit rows,
-# in the same order the scalar engine enumerates them.
-_PAIR_TABLE = np.array(
-    [
-        (int(a in "XY"), int(a in "YZ"), int(b in "XY"), int(b in "YZ"))
-        for a in ("I", "X", "Y", "Z")
-        for b in ("I", "X", "Y", "Z")
-        if not (a == "I" and b == "I")
-    ],
-    dtype=np.uint8,
-)
-
-#: Decode table: 3-bit syndrome (as integer, bit i = parity-check row i)
-#: -> 7-bit correction row. Index 0 is the zero correction.
-_DECODE = np.zeros((8, 7), dtype=np.uint8)
-for _q in range(7):
-    _syndrome_bits = HAMMING_PARITY_CHECK[:, _q]
-    _key = int(_syndrome_bits[0]) | (int(_syndrome_bits[1]) << 1) | (
-        int(_syndrome_bits[2]) << 2
-    )
-    _DECODE[_key, _q] = 1
-
-_H_T = HAMMING_PARITY_CHECK.T.astype(np.uint8)
+#: Back-compat aliases: the decode table and parity-check transpose were
+#: born here and are imported by tests and notebooks.
+_DECODE = STEANE_DECODE
+_H_T = STEANE_H_T
 
 
-class BatchFrames:
-    """(trials, qubits) Pauli frames."""
-
-    __slots__ = ("x", "z")
-
-    def __init__(self, trials: int, qubits: int) -> None:
-        self.x = np.zeros((trials, qubits), dtype=np.uint8)
-        self.z = np.zeros((trials, qubits), dtype=np.uint8)
-
-
-class VectorizedSimulator:
-    """Batch executor for the preparation protocols.
+class VectorizedSimulator(BatchedSimulator):
+    """Figure 4 protocol drivers on top of the general batched engine.
 
     Args:
         errors: Per-operation error probabilities (paper defaults).
         seed: RNG seed.
     """
 
-    def __init__(self, errors: Optional[ErrorRates] = None, seed: int = 0) -> None:
-        self.errors = errors or ErrorRates()
-        self.rng = np.random.default_rng(seed)
-
     # ------------------------------------------------------------------
-    # Primitive operations
+    # Circuit execution (movement charged at the protocol default)
 
-    def _inject_1q(self, frames: BatchFrames, qubit: int,
-                   active: np.ndarray, prep: bool) -> None:
-        p = self.errors.gate
-        if p == 0.0:
-            return
-        n = frames.x.shape[0]
-        hit = (self.rng.random(n) < p) & active
-        if not hit.any():
-            return
-        if prep:
-            # X or Y only: X component always set, Z set for Y.
-            choice = self.rng.integers(2, size=n)
-            frames.x[:, qubit] ^= hit.astype(np.uint8)
-            frames.z[:, qubit] ^= (hit & (choice == 1)).astype(np.uint8)
-        else:
-            choice = self.rng.integers(3, size=n)  # 0=X, 1=Y, 2=Z
-            frames.x[:, qubit] ^= (hit & (choice != 2)).astype(np.uint8)
-            frames.z[:, qubit] ^= (hit & (choice != 0)).astype(np.uint8)
-
-    def _inject_2q(self, frames: BatchFrames, qa: int, qb: int,
-                   active: np.ndarray) -> None:
-        p = self.errors.gate
-        if p == 0.0:
-            return
-        n = frames.x.shape[0]
-        hit = (self.rng.random(n) < p) & active
-        if not hit.any():
-            return
-        pick = _PAIR_TABLE[self.rng.integers(len(_PAIR_TABLE), size=n)]
-        hit8 = hit.astype(np.uint8)
-        frames.x[:, qa] ^= hit8 & pick[:, 0]
-        frames.z[:, qa] ^= hit8 & pick[:, 1]
-        frames.x[:, qb] ^= hit8 & pick[:, 2]
-        frames.z[:, qb] ^= hit8 & pick[:, 3]
-
-    def _inject_movement(self, frames: BatchFrames, qubit: int,
-                         active: np.ndarray, move_ops: int) -> None:
-        pm = self.errors.movement
-        if pm == 0.0 or move_ops <= 0:
-            return
-        n = frames.x.shape[0]
-        faults = self.rng.binomial(move_ops, pm, size=n)
-        hit = (faults > 0) & active
-        if not hit.any():
-            return
-        choice = self.rng.integers(3, size=n)
-        frames.x[:, qubit] ^= (hit & (choice != 2)).astype(np.uint8)
-        frames.z[:, qubit] ^= (hit & (choice != 0)).astype(np.uint8)
-
-    # ------------------------------------------------------------------
-    # Circuit execution
-
-    def run_circuit(
+    def run_circuit(  # type: ignore[override]
         self,
         circuit: Circuit,
         frames: BatchFrames,
-        qubit_map: Dict[int, int],
-        active: np.ndarray,
+        qubit_map: Optional[Dict[int, int]] = None,
+        active: Optional[np.ndarray] = None,
         measure_flips: Optional[Dict[str, np.ndarray]] = None,
-    ) -> None:
+        moves_per_qubit_per_gate: float = MOVES_PER_QUBIT_PER_GATE,
+    ) -> Dict[str, np.ndarray]:
         """Execute a circuit over the batch, mirroring the scalar engine.
 
-        Gates propagate ideally, then inject stochastic errors; per-gate
-        movement (MOVES_PER_QUBIT_PER_GATE ops per involved qubit) is
-        charged before the gate. Measurement flip columns are written into
-        ``measure_flips`` keyed by result-bit name; measured qubits clear.
-        Trials where ``active`` is False are untouched.
+        Identical to :meth:`BatchedSimulator.run_circuit` except that
+        per-gate movement defaults to the Figure 4 protocols' layout
+        proxy (:data:`~repro.ancilla.evaluation.MOVES_PER_QUBIT_PER_GATE`
+        ops per involved qubit).
         """
-        moves = int(round(MOVES_PER_QUBIT_PER_GATE))
-        x, z = frames.x, frames.z
-        for gate in circuit:
-            qubits = tuple(qubit_map.get(q, q) for q in gate.qubits)
-            for q in qubits:
-                self._inject_movement(frames, q, active, moves)
-            gt = gate.gate_type
-            if gt is GateType.PREP_0:
-                q = qubits[0]
-                keep = (~active).astype(np.uint8)
-                x[:, q] &= keep
-                z[:, q] &= keep
-                self._inject_1q(frames, q, active, prep=True)
-            elif gt is GateType.H:
-                q = qubits[0]
-                swap = x[active, q].copy()
-                x[active, q] = z[active, q]
-                z[active, q] = swap
-                self._inject_1q(frames, q, active, prep=False)
-            elif gt is GateType.CX:
-                c, t = qubits
-                act = active.astype(np.uint8)
-                x[:, t] ^= x[:, c] & act
-                z[:, c] ^= z[:, t] & act
-                self._inject_2q(frames, c, t, active)
-            elif gt in (GateType.MEASURE_Z, GateType.MEASURE_X):
-                q = qubits[0]
-                basis = x[:, q] if gt is GateType.MEASURE_Z else z[:, q]
-                flips = basis & active.astype(np.uint8)
-                if measure_flips is not None:
-                    measure_flips[gate.result] = flips.copy()
-                keep = (~active).astype(np.uint8)
-                x[:, q] &= keep
-                z[:, q] &= keep
-            else:
-                raise ValueError(
-                    f"vectorized engine does not support {gate.describe()}"
-                )
+        return super().run_circuit(
+            circuit,
+            frames,
+            qubit_map=qubit_map,
+            active=active,
+            measure_flips=measure_flips,
+            moves_per_qubit_per_gate=moves_per_qubit_per_gate,
+        )
 
     # ------------------------------------------------------------------
     # Protocol building blocks
@@ -220,18 +119,17 @@ class VectorizedSimulator:
         mapping.update({7 + i: q for i, q in enumerate(cats)})
         self.run_circuit(_VERIFY_CHECK, frames, mapping, active)
         blk = list(block)
-        synd_x = (frames.x[:, blk] @ _H_T) % 2
-        synd_z = (frames.z[:, blk] @ _H_T) % 2
-        detectable = synd_x.any(axis=1) | synd_z.any(axis=1)
+        detectable = (
+            steane_syndrome_keys(frames.x[:, blk]) != 0
+        ) | (steane_syndrome_keys(frames.z[:, blk]) != 0)
         return ~detectable
 
     def _apply_decoded(self, frames: BatchFrames, block: Sequence[int],
                        bits: np.ndarray, active: np.ndarray,
                        phase: bool) -> None:
         """Decode measured helper bits and apply the correction."""
-        syndrome = (bits @ _H_T) % 2
-        keys = syndrome[:, 0] | (syndrome[:, 1] << 1) | (syndrome[:, 2] << 2)
-        correction = _DECODE[keys] & active[:, None].astype(np.uint8)
+        keys = steane_syndrome_keys(bits)
+        correction = STEANE_DECODE[keys] & active[:, None].astype(np.uint8)
         target = frames.z if phase else frames.x
         blk = list(block)
         target[:, blk] ^= correction
@@ -293,42 +191,8 @@ class VectorizedSimulator:
     # Grading
 
     def grade_bad(self, frames: BatchFrames, block: Sequence[int]) -> np.ndarray:
-        """Uncorrectable-residual mask (logical X or logical Z content).
-
-        A residual is bad iff, after the table decode of its syndrome, the
-        zero-syndrome remainder is outside the stabilizer row space. With
-        the full 8-entry decode table, the remainder always has zero
-        syndrome, and membership is tested against precomputed cosets.
-        """
-        blk = list(block)
-        bad = np.zeros(frames.x.shape[0], dtype=bool)
-        for err, target in ((frames.x[:, blk], "x"), (frames.z[:, blk], "z")):
-            syndrome = (err @ _H_T) % 2
-            keys = syndrome[:, 0] | (syndrome[:, 1] << 1) | (syndrome[:, 2] << 2)
-            residual = (err ^ _DECODE[keys]).astype(np.uint8)
-            bad |= ~_in_stabilizer_rowspace(residual)
-        return bad
-
-
-#: All eight X-stabilizer rowspace words, packed as 7-bit integers.
-_ROWSPACE = set()
-for _a in range(2):
-    for _b in range(2):
-        for _c in range(2):
-            _word = (
-                _a * HAMMING_PARITY_CHECK[0]
-                + _b * HAMMING_PARITY_CHECK[1]
-                + _c * HAMMING_PARITY_CHECK[2]
-            ) % 2
-            _ROWSPACE.add(int(np.packbits(_word, bitorder="little")[0]))
-_ROWSPACE_LOOKUP = np.zeros(128, dtype=bool)
-for _w in _ROWSPACE:
-    _ROWSPACE_LOOKUP[_w] = True
-
-
-def _in_stabilizer_rowspace(residual: np.ndarray) -> np.ndarray:
-    packed = np.packbits(residual, axis=1, bitorder="little")[:, 0]
-    return _ROWSPACE_LOOKUP[packed]
+        """Uncorrectable-residual mask (logical X or logical Z content)."""
+        return steane_grade_bad(frames, block)
 
 
 # ----------------------------------------------------------------------

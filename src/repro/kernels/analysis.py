@@ -25,7 +25,9 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.circuits import Circuit, asap_schedule
+import numpy as np
+
+from repro.circuits import Circuit
 from repro.circuits.gate import PI8_CONSUMING_GATES, Gate, GateType
 from repro.circuits.latency import LogicalLatencyModel
 from repro.factory.simple import SimpleZeroFactory
@@ -76,7 +78,6 @@ class KernelAnalysis:
 
     def __post_init__(self) -> None:
         self._logical = LogicalLatencyModel(self.tech)
-        self._schedule = asap_schedule(self.circuit, QecAwareLatency(self._logical))
         # One full Figure 4c preparation per QEC step: the bit- and
         # phase-correction ancillae are produced as a pair by the same
         # factory pass (Figure 11 corrects the middle ancilla with both
@@ -85,6 +86,52 @@ class KernelAnalysis:
         # The pi/8 conversion pipeline runs downstream of zero production;
         # its input zero is prepared concurrently with the QEC zeros.
         self._pi8_serial_us = Pi8Factory(self.tech).serial_latency_us()
+        # The QEC-aware ASAP schedule is computed lazily as flat start /
+        # finish arrays over the memoized compiled-circuit form — no
+        # per-gate ScheduleEntry or Gate objects on the hot path.
+        self._asap_times: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._chain: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------
+    # Compiled ASAP schedule (speed of data, flat arrays)
+
+    def _times(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(start, finish) arrays of the QEC-aware ASAP schedule.
+
+        Longest-path over the dependency DAG, computed level by level:
+        every gate of a level has all predecessors in earlier levels, so
+        one ``np.maximum.reduceat`` segment-max per level yields the
+        start times of the whole level at once. Matches
+        :func:`repro.circuits.dag.asap_schedule` bit for bit (same max /
+        add ordering), which the test suite asserts on all kernels.
+        """
+        if self._asap_times is not None:
+            return self._asap_times
+        from repro.circuits.compiled import dataflow_metadata
+
+        compiled = self.compiled_circuit()
+        n = compiled.num_gates
+        dur = np.asarray(compiled.latency_us, dtype=np.float64)
+        dur = dur + self._logical.qec_interaction_latency()
+        starts = np.zeros(n, dtype=np.float64)
+        finish = np.empty(n, dtype=np.float64)
+        if n:
+            df = dataflow_metadata(compiled)
+            order, loff = df.level_order, df.level_offsets
+            seg, flat = df.level_pred_seg, df.level_pred_flat
+            first = order[loff[0]:loff[1]]
+            finish[first] = dur[first]  # level 0 gates start at 0
+            for lvl in range(1, df.num_levels):
+                nodes = order[loff[lvl]:loff[lvl + 1]]
+                s0, s1 = seg[loff[lvl]], seg[loff[lvl + 1]]
+                pred_finish = finish[flat[s0:s1]]
+                st = np.maximum.reduceat(
+                    pred_finish, seg[loff[lvl]:loff[lvl + 1]] - s0
+                )
+                starts[nodes] = st
+                finish[nodes] = st + dur[nodes]
+        self._asap_times = (starts, finish)
+        return self._asap_times
 
     # ------------------------------------------------------------------
     # Raw counts
@@ -112,39 +159,52 @@ class KernelAnalysis:
     @property
     def execution_time_us(self) -> float:
         """Speed-of-data execution time (Table 2 columns 2+3)."""
-        return max((e.finish for e in self._schedule), default=0.0)
+        _, finish = self._times()
+        return float(finish.max()) if finish.size else 0.0
 
-    def _critical_path_entries(self):
-        """One maximal chain through the QEC-aware ASAP schedule."""
-        if not self._schedule:
-            return []
-        from repro.circuits.dag import CircuitDag
+    def _critical_chain(self) -> List[int]:
+        """Gate indices of one maximal chain through the ASAP schedule.
 
-        dag = CircuitDag(self.circuit)
-        current = max(self._schedule, key=lambda e: e.finish)
+        Backwalk over the compiled predecessor CSR from the last-finishing
+        gate, always following the predecessor that gates the start time
+        (ties broken toward the lowest index, matching the seed's
+        ``max``-over-sorted-predecessors walk). Memoized: every
+        ``table2_row`` call used to rebuild a ``CircuitDag`` and re-walk
+        ``ScheduleEntry`` objects; now the chain is computed once per
+        analysis from flat arrays.
+        """
+        if self._chain is not None:
+            return self._chain
+        _, finish = self._times()
+        if not finish.size:
+            self._chain = []
+            return self._chain
+        from repro.circuits.compiled import dataflow_metadata
+
+        df = dataflow_metadata(self.compiled_circuit())
+        offsets, indices = df.pred_offsets, df.pred_indices
+        current = int(np.argmax(finish))
         chain = [current]
-        while True:
-            preds = dag.predecessors(current.index)
-            if not preds:
-                break
-            blocker = max((self._schedule[p] for p in preds), key=lambda e: e.finish)
-            chain.append(blocker)
-            current = blocker
+        while offsets[current] != offsets[current + 1]:
+            preds = indices[offsets[current]:offsets[current + 1]]
+            current = int(preds[np.argmax(finish[preds])])
+            chain.append(current)
         chain.reverse()
+        self._chain = chain
         return chain
 
     def table2_row(self) -> Dict[str, float]:
         """The three Table 2 latency components and their fractions."""
-        chain = self._critical_path_entries()
+        chain = self._critical_chain()
+        compiled = self.compiled_circuit()
+        latency, pi8_flag = compiled.latency_us, compiled.pi8_flag
         qec_interact_each = self._logical.qec_interaction_latency()
-        data_op = sum(
-            self._logical.gate_latency(e.gate) for e in chain
-        )
+        data_op = sum(latency[i] for i in chain)
         qec_interact = qec_interact_each * len(chain)
         ancilla_prep = sum(
             self._zero_serial_us
-            + (self._pi8_serial_us if e.gate.gate_type in _PI8_TYPES else 0.0)
-            for e in chain
+            + (self._pi8_serial_us if pi8_flag[i] else 0.0)
+            for i in chain
         )
         total = data_op + qec_interact + ancilla_prep
         return {
@@ -204,7 +264,12 @@ class KernelAnalysis:
 
         An ancilla consumed at a gate's start must exist from
         (start - preparation latency) until consumption; the profile counts,
-        for each time bucket, the ancillae alive during it.
+        for each time bucket, the ancillae alive during it. Computed as a
+        difference array over the flat start times: +demand at each
+        gate's first bucket, -demand past its last, then a cumulative
+        sum — the seed's O(gates x buckets) Python bucket loop collapses
+        to three vectorized passes with bit-identical counts (integer-
+        valued floats, exact under reordering).
         """
         if buckets < 1:
             raise ValueError(f"buckets must be >= 1, got {buckets}")
@@ -213,15 +278,15 @@ class KernelAnalysis:
             return []
         width = horizon / buckets
         prep = self._zero_serial_us
-        counts = [0.0] * buckets
-        for entry in self._schedule:
-            birth = max(0.0, entry.start - prep)
-            death = entry.start
-            first = min(buckets - 1, int(birth / width))
-            last = min(buckets - 1, int(death / width))
-            for idx in range(first, last + 1):
-                counts[idx] += ZEROS_PER_QEC
-        return [(idx * width, counts[idx]) for idx in range(buckets)]
+        starts, _ = self._times()
+        births = np.maximum(0.0, starts - prep)
+        first = np.minimum(buckets - 1, (births / width).astype(np.int64))
+        last = np.minimum(buckets - 1, (starts / width).astype(np.int64))
+        diff = np.zeros(buckets + 1, dtype=np.float64)
+        np.add.at(diff, first, float(ZEROS_PER_QEC))
+        np.add.at(diff, last + 1, -float(ZEROS_PER_QEC))
+        counts = np.cumsum(diff)[:buckets]
+        return [(idx * width, float(counts[idx])) for idx in range(buckets)]
 
 
 def _qrca_analysis(width: int, tech: TechnologyParams) -> KernelAnalysis:

@@ -1,0 +1,126 @@
+"""Property tests: protocol lowering round-trips the scalar semantics.
+
+For randomized circuits over the full supported gate set — including
+measurements and classically conditioned gates — executing the lowered
+program with zero noise over a batch of planted Pauli frames must
+reproduce the scalar engine's final frame and measurement flips exactly,
+trial for trial. This pins the compiled-protocol semantics (op lowering,
+qubit mapping, condition/result interning, skip rules) to the scalar
+reference independent of any statistics.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import Circuit
+from repro.error.batched import BatchFrames, BatchedSimulator, compile_protocol
+from repro.error.montecarlo import MonteCarloSimulator
+from repro.error.pauli import PauliFrame
+from repro.tech import ErrorRates
+
+CLEAN = ErrorRates(gate=0.0, movement=0.0, measurement=0.0)
+
+_ONE_QUBIT = ("prep_0", "h", "s", "sdg", "x", "y", "z", "t", "tdg")
+_TWO_QUBIT = ("cx", "cz", "swap", "cs")
+
+
+@st.composite
+def protocol_circuits(draw, max_qubits=5, max_gates=20):
+    """Random circuits over the lowerable gate set, with conditionals."""
+    n = draw(st.integers(2, max_qubits))
+    num_gates = draw(st.integers(1, max_gates))
+    circ = Circuit(n)
+    bits = []
+    next_bit = 0
+    for _ in range(num_gates):
+        q = draw(st.integers(0, n - 1))
+        condition = None
+        if bits and draw(st.booleans()):
+            condition = draw(st.sampled_from(bits))
+        kind = draw(st.sampled_from(("one", "two", "measure")))
+        if kind == "two":
+            q2 = draw(st.integers(0, n - 1).filter(lambda x: x != q))
+            name = draw(st.sampled_from(_TWO_QUBIT))
+            getattr(circ, name)(q, q2, condition=condition)
+        elif kind == "measure":
+            result = f"m{next_bit}"
+            next_bit += 1
+            basis = draw(st.sampled_from(("measure_z", "measure_x")))
+            getattr(circ, basis)(q, result, condition=condition)
+            bits.append(result)
+        else:
+            name = draw(st.sampled_from(_ONE_QUBIT))
+            getattr(circ, name)(q, condition=condition)
+    return circ
+
+
+@st.composite
+def planted_frames(draw, circ, trials=4):
+    n = circ.num_qubits
+    bits = st.integers(0, 1)
+    x = np.array(
+        [[draw(bits) for _ in range(n)] for _ in range(trials)], dtype=np.uint8
+    )
+    z = np.array(
+        [[draw(bits) for _ in range(n)] for _ in range(trials)], dtype=np.uint8
+    )
+    return x, z
+
+
+@st.composite
+def circuit_and_frames(draw):
+    circ = draw(protocol_circuits())
+    x, z = draw(planted_frames(circ))
+    return circ, x, z
+
+
+class TestLoweringRoundTrip:
+    @given(circuit_and_frames())
+    @settings(max_examples=120, deadline=None)
+    def test_batch_matches_scalar_trial_by_trial(self, case):
+        circ, x0, z0 = case
+        trials, n = x0.shape
+
+        frames = BatchFrames(trials, n)
+        frames.x[:] = x0
+        frames.z[:] = z0
+        batched = BatchedSimulator(errors=CLEAN)
+        flips = batched.run_circuit(
+            circ, frames, active=np.ones(trials, dtype=bool)
+        )
+
+        for t in range(trials):
+            frame = PauliFrame(n)
+            frame.x[:] = x0[t]
+            frame.z[:] = z0[t]
+            scalar_flips = MonteCarloSimulator(errors=CLEAN).run_circuit(
+                circ, frame
+            )
+            assert np.array_equal(frames.x[t], frame.x), t
+            assert np.array_equal(frames.z[t], frame.z), t
+            names = set(scalar_flips) | set(flips)
+            for name in names:
+                batch_bit = int(flips[name][t]) if name in flips else 0
+                assert batch_bit == scalar_flips.get(name, 0), (t, name)
+
+    @given(protocol_circuits())
+    @settings(max_examples=60, deadline=None)
+    def test_program_metadata_round_trips(self, circ):
+        program = compile_protocol(circ)
+        assert program.num_gates == len(circ)
+        # Every measurement's result bit is interned, and every condition
+        # id points back at the bit name the gate was built with.
+        for i, gate in enumerate(circ):
+            if gate.result is not None:
+                assert program.bit_names[program.result[i]] == gate.result
+            else:
+                assert program.result[i] == -1
+            if gate.condition is not None:
+                assert program.bit_names[program.cond[i]] == gate.condition
+            else:
+                assert program.cond[i] == -1
+        # Qubit operands survive the (identity) mapping.
+        for i, gate in enumerate(circ):
+            assert program.q0[i] == gate.qubits[0]
+            if len(gate.qubits) > 1:
+                assert program.q1[i] == gate.qubits[1]
