@@ -1,0 +1,189 @@
+"""Benchmark: point-batched sweep engine vs the serial compiled engine.
+
+The point-batched engine (repro.arch.batched) must make dense design
+sweeps routine: an entire Figure 8 / Figure 15 axis in one numpy pass.
+This benchmark measures points/sec of the serial compiled engine (one
+``DataflowSimulator.run()`` per point) against ``simulate_batch`` on the
+same supplies, asserts the acceptance gate (batched >= 10x at a
+>= 64-point sweep), verifies bit-identical results point for point, and
+records the trajectory to BENCH_protocols.json.
+
+A steady-rate sweep (the Figure 8 axis) carries the gate; the QLA
+dedicated-supply ladder (the Figure 15 axis) is recorded alongside it.
+With REPRO_PERF_SMOKE=1 (CI), the speedup gates are skipped and only
+exact equality is checked; REPRO_SWEEP_POINTS rescales the sweep width.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+import record as bench_record
+from repro.arch import simulate_batch
+from repro.arch.architectures import QlaConfig
+from repro.arch.simulator import DataflowSimulator
+from repro.arch.supply import PI8, ZERO, SteadyRateSupply
+
+pytestmark = pytest.mark.perf
+
+#: Sweep width; the acceptance gate is defined at >= 64 points.
+POINTS = int(os.environ.get("REPRO_SWEEP_POINTS", "96"))
+
+#: CI smoke mode: correctness assertions only, no speedup-ratio gates.
+PERF_SMOKE = os.environ.get("REPRO_PERF_SMOKE") == "1"
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def test_bench_steady_sweep_speedup(benchmark, qcla32):
+    """Acceptance gate: batched steady sweep >= 10x serial at >= 64 points."""
+    analysis = qcla32
+    circuit, tech = analysis.circuit, analysis.tech
+    compiled = analysis.compiled_circuit()
+    bandwidth = analysis.zero_bandwidth_per_ms
+    ratio = analysis.pi8_bandwidth_per_ms / bandwidth
+    rates = np.geomspace(bandwidth / 16.0, bandwidth * 16.0, POINTS)
+
+    def supplies():
+        return [
+            SteadyRateSupply({ZERO: rate, PI8: rate * ratio}) for rate in rates
+        ]
+
+    # Warm the per-circuit caches so both sides measure steady state.
+    # Fresh supplies every round (simulate_batch advances supply state),
+    # pre-built outside the timed region: the gate compares the engines,
+    # not supply construction, which both paths share identically.
+    simulate_batch(circuit, supplies()[:2], tech, compiled=compiled)
+    rounds = iter([supplies() for _ in range(3)])
+    holder = {}
+
+    def run_batched():
+        holder["results"] = simulate_batch(
+            circuit, next(rounds), tech, compiled=compiled
+        )
+
+    benchmark.pedantic(run_batched, rounds=3, iterations=1)
+    batched_s = benchmark.stats.stats.min
+    batched_results = holder["results"]
+    serial_supplies = supplies()
+    serial_s, serial_results = _timed(
+        lambda: [
+            DataflowSimulator(
+                circuit, tech, supply=supply, compiled=compiled
+            ).run()
+            for supply in serial_supplies
+        ]
+    )
+    assert batched_results == serial_results  # exact equality, every field
+    batched_rate = POINTS / batched_s
+    serial_rate = POINTS / serial_s
+    speedup = batched_rate / serial_rate
+    benchmark.extra_info["batched_points_per_s"] = batched_rate
+    benchmark.extra_info["serial_points_per_s"] = serial_rate
+    benchmark.extra_info["speedup"] = speedup
+    bench_record.record(
+        "steady_sweep",
+        points=POINTS,
+        gates=len(circuit),
+        batched_points_per_s=batched_rate,
+        serial_points_per_s=serial_rate,
+        speedup=speedup,
+    )
+    print()
+    print(
+        f"  steady sweep ({POINTS} pts x {len(circuit)} gates): "
+        f"serial {serial_rate:,.0f} pts/s, batched {batched_rate:,.0f} pts/s "
+        f"-> {speedup:.1f}x"
+    )
+    if not PERF_SMOKE:
+        assert POINTS >= 64
+        assert speedup >= 10.0
+
+
+def test_bench_qla_area_sweep_speedup(benchmark, qcla32):
+    """Figure 15's QLA ladder: dedicated supplies, batched vs serial."""
+    analysis = qcla32
+    circuit, tech = analysis.circuit, analysis.tech
+    compiled = analysis.compiled_circuit()
+    config = QlaConfig()
+    num_qubits = circuit.num_qubits
+    areas = np.geomspace(50.0, 50_000.0, POINTS)
+    move_1q = config.movement_penalty(False, tech)
+    move_2q = config.movement_penalty(True, tech)
+
+    def supplies():
+        return [
+            config.build_supply(
+                area,
+                num_qubits,
+                analysis.zero_bandwidth_per_ms,
+                analysis.pi8_bandwidth_per_ms,
+                tech,
+            )
+            for area in areas
+        ]
+
+    simulate_batch(
+        circuit,
+        supplies()[:2],
+        tech,
+        movement_penalty_us=move_1q,
+        two_qubit_movement_penalty_us=move_2q,
+        compiled=compiled,
+    )
+    rounds = iter([supplies() for _ in range(3)])
+    holder = {}
+
+    def run_batched():
+        holder["results"] = simulate_batch(
+            circuit,
+            next(rounds),
+            tech,
+            movement_penalty_us=move_1q,
+            two_qubit_movement_penalty_us=move_2q,
+            compiled=compiled,
+        )
+
+    benchmark.pedantic(run_batched, rounds=3, iterations=1)
+    batched_s = benchmark.stats.stats.min
+    batched_results = holder["results"]
+    serial_supplies = supplies()
+    serial_s, serial_results = _timed(
+        lambda: [
+            DataflowSimulator(
+                circuit,
+                tech,
+                supply=supply,
+                movement_penalty_us=move_1q,
+                two_qubit_movement_penalty_us=move_2q,
+                compiled=compiled,
+            ).run()
+            for supply in serial_supplies
+        ]
+    )
+    assert batched_results == serial_results
+    batched_rate = POINTS / batched_s
+    serial_rate = POINTS / serial_s
+    speedup = batched_rate / serial_rate
+    bench_record.record(
+        "qla_area_sweep",
+        points=POINTS,
+        gates=len(circuit),
+        batched_points_per_s=batched_rate,
+        serial_points_per_s=serial_rate,
+        speedup=speedup,
+    )
+    print()
+    print(
+        f"  QLA area sweep ({POINTS} pts x {len(circuit)} gates): "
+        f"serial {serial_rate:,.0f} pts/s, batched {batched_rate:,.0f} pts/s "
+        f"-> {speedup:.1f}x"
+    )
+    if not PERF_SMOKE:
+        assert speedup >= 5.0

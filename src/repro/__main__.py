@@ -96,6 +96,10 @@ def _cmd_explore(ns: argparse.Namespace) -> int:
             ns.objective,
             max_total_area=ns.max_area,
             max_makespan_ms=ns.max_latency_ms,
+            max_pi8_error_rate=ns.max_pi8_error,
+            tech=analysis.tech,
+            mc_trials=ns.mc_trials,
+            store=store,
         )
         strategy = get_strategy(ns.strategy, space, seed=ns.seed)
     except ValueError as exc:
@@ -177,8 +181,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="kernel to explore, as <name>[-<width>] (e.g. qcla-32)",
     )
     p_explore.add_argument(
-        "--objective", default="adcr", choices=("adcr", "latency", "area"),
-        help="figure of merit to minimize (default: adcr)",
+        "--objective", default="adcr",
+        choices=("adcr", "latency", "area", "ancilla_quality"),
+        help=(
+            "figure of merit to minimize (default: adcr; ancilla_quality "
+            "is the Monte-Carlo pi/8 ancilla error rate)"
+        ),
     )
     p_explore.add_argument(
         "--strategy", default="grid", choices=("grid", "random", "adaptive"),
@@ -199,6 +207,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_explore.add_argument(
         "--max-latency-ms", type=float, default=None, metavar="MS",
         help="constraint: reject points above this execution time",
+    )
+    p_explore.add_argument(
+        "--max-pi8-error", type=float, default=None, metavar="P",
+        help=(
+            "constraint: reject designs whose technology's pi/8 ancilla "
+            "error rate (batched Monte Carlo) exceeds P"
+        ),
+    )
+    p_explore.add_argument(
+        "--mc-trials", type=int, default=100_000, metavar="N",
+        help=(
+            "Monte Carlo trials behind ancilla_quality / --max-pi8-error "
+            "(default: 100000; results are cached in the result store)"
+        ),
     )
     p_explore.add_argument(
         "--cache-dir", default=None, metavar="DIR",

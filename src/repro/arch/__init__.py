@@ -18,6 +18,8 @@ Modules:
   rate, pooled, per-qubit dedicated);
 * :mod:`repro.arch.simulator` — the event-based dataflow simulator
   (Section 5.2's methodology);
+* :mod:`repro.arch.batched` — the point-batched engine: one numpy pass
+  simulates a whole sweep of design points, bit-identical per point;
 * :mod:`repro.arch.architectures` — the three architecture configurations;
 * :mod:`repro.arch.sweep` — the Figure 8 throughput sweep and Figure 15
   area sweep;
@@ -32,6 +34,7 @@ from repro.arch.architectures import (
     QlaConfig,
     architecture_for_area,
 )
+from repro.arch.batched import simulate_batch
 from repro.arch.provisioning import AreaBreakdown, area_breakdown
 from repro.arch.simulator import DataflowSimulator, SimulationResult
 from repro.arch.supply import (
@@ -57,5 +60,6 @@ __all__ = [
     "architecture_for_area",
     "area_breakdown",
     "area_sweep",
+    "simulate_batch",
     "throughput_sweep",
 ]

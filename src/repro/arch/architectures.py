@@ -61,15 +61,27 @@ def ballistic_hop_latency(tech: TechnologyParams, region_span: int = 8) -> float
     return region_span * tech.t_move + tech.t_turn
 
 
+_EXCHANGE_RATES: Dict[TechnologyParams, Tuple[float, float]] = {}
+
+
 def factory_exchange_rates(
     tech: TechnologyParams = ION_TRAP,
 ) -> Tuple[float, float]:
-    """(macroblocks per zero/ms, macroblocks per pi8/ms incl. supply)."""
-    zero = PipelinedZeroFactory(tech)
-    pi8 = Pi8Factory(tech)
-    zero_cost = zero.area / zero.throughput_per_ms
-    pi8_cost = pi8.area / pi8.throughput_per_ms + zero_cost
-    return zero_cost, pi8_cost
+    """(macroblocks per zero/ms, macroblocks per pi8/ms incl. supply).
+
+    Memoized per technology: every ``build_supply`` of a sweep point
+    prices its area budget through this conversion, and the factory
+    models it instantiates are pure functions of the (frozen, hashable)
+    technology record.
+    """
+    cached = _EXCHANGE_RATES.get(tech)
+    if cached is None:
+        zero = PipelinedZeroFactory(tech)
+        pi8 = Pi8Factory(tech)
+        zero_cost = zero.area / zero.throughput_per_ms
+        cached = (zero_cost, pi8.area / pi8.throughput_per_ms + zero_cost)
+        _EXCHANGE_RATES[tech] = cached
+    return cached
 
 
 def demand_area_for_rates(

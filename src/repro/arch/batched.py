@@ -1,0 +1,584 @@
+"""Point-batched dataflow simulation: a whole sweep in one numpy pass.
+
+Every headline sweep (Figure 8 throughput curves, Figure 15/16 area
+ladders, each ``repro.explore`` round) simulates the same compiled kernel
+at many design points differing only in supply rates and movement
+penalties. The serial engines in :mod:`repro.arch.simulator` re-walk the
+full gate list once per point, so sweep cost is ``points x gates``
+interpreted Python. This module carries a leading ``points`` axis
+instead: simulator state becomes ``(points, num_qubits)`` /
+``(points, num_bits)`` float64 matrices, and the engine walks the
+circuit's *dependency levels* (from
+:func:`repro.circuits.compiled.dataflow_metadata`) exactly once total —
+each level's ready/finish update is a handful of vectorized numpy ops
+across all points and all gates of the level at once.
+
+What batches, and why it stays bit-identical:
+
+* **Steady-rate supplies** (:class:`SteadyRateSupply` and its
+  :class:`PooledSupply` alias): availability is a pure function of gate
+  index, so a ``(points,)`` rate vector produces a ``(points, gates)``
+  ready matrix (:func:`steady_ready_matrix`) by one broadcast division —
+  the same division :func:`~repro.arch.simulator._steady_ready_times`
+  performs per point.
+* **Dedicated supplies** (the QLA model): consumption order per home
+  qubit is fixed by the gate sequence alone, so per-gate counter values
+  are precomputed home-qubit ranks and availability is again one
+  broadcast division (:func:`dedicated_ready_matrix`).
+* **Infinite supplies** constrain nothing; all such points share one
+  column of work.
+
+Within a dependency level no two gates share a qubit (a shared qubit is a
+dependency edge) and no gate reads a classical bit written in its own
+level, so gathering all start times before scattering all finish times
+reproduces the serial engine's program-order walk exactly. Every
+floating-point operation keeps the serial evaluation order (max chains,
+then movement add, then supply max, then ``+ latency`` then ``+ qec``),
+which makes the batched results **bit-identical** to
+:meth:`DataflowSimulator.run` / :meth:`~DataflowSimulator.run_legacy` —
+the equivalence suite asserts exact float equality, not approximation.
+
+What falls back: CQLA cache mode (port booking couples start times
+across gates, so there is no closed point-parallel form) and custom
+:class:`AncillaSupply` implementations (arbitrary ``acquire`` must be
+queried gate by gate). :func:`simulate_batch` routes such points through
+a per-point :class:`DataflowSimulator` transparently — callers never
+need to pre-sort their supplies.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.architectures import CqlaConfig
+from repro.arch.simulator import (
+    ZEROS_PER_QEC,
+    DataflowSimulator,
+    SimulationResult,
+    movement_teleports,
+    supply_acquire_impl,
+)
+from repro.arch.supply import (
+    PI8,
+    ZERO,
+    AncillaSupply,
+    DedicatedSupply,
+    InfiniteSupply,
+    SteadyRateSupply,
+)
+from repro.circuits import Circuit
+from repro.circuits.compiled import (
+    CompiledCircuit,
+    MOVE_NONE,
+    MOVE_ONE_QUBIT,
+    MOVE_TWO_QUBIT,
+    dataflow_metadata,
+)
+from repro.circuits.latency import LogicalLatencyModel
+from repro.tech import ION_TRAP, TechnologyParams
+
+__all__ = [
+    "simulate_batch",
+    "steady_ready_matrix",
+    "dedicated_ready_matrix",
+]
+
+
+# ----------------------------------------------------------------------
+# Per-circuit batch arrays (memoized)
+
+
+@dataclass(frozen=True, eq=False)
+class _Level:
+    """One dependency level's operand arrays, pre-gathered.
+
+    State matrices are *gate-major* — ``(num_qubits + 1, points)`` — so
+    each per-level gather/scatter touches contiguous rows. ``q1``/``q2``
+    map absent operands to the dummy qubit row ``num_qubits`` and
+    ``cond``/``result`` map absent bits to the dummy bit row
+    ``num_bits``; the dummy rows are re-pinned to 0.0 after a level's
+    scatters, so a max against them is a no-op and a scatter into them
+    is discarded — no per-level boolean masking needed. The ``has_*``
+    flags let the kernel skip whole operand classes (second/third
+    operands, condition reads, result writes) when a level has none.
+    """
+
+    gates: np.ndarray  # gate indices, program order within the level
+    q0: np.ndarray
+    q1: np.ndarray
+    q2: np.ndarray
+    cond: np.ndarray
+    result: np.ndarray
+    latency: np.ndarray  # (k, 1): broadcasts over the points axis
+    has_q1: bool
+    has_q2: bool
+    has_cond: bool
+    has_result: bool
+
+
+@dataclass(frozen=True, eq=False)
+class _BatchArrays:
+    """Everything the batched kernel needs, built once per compiled form."""
+
+    levels: Tuple[_Level, ...]
+    move_kind: np.ndarray  # (gates,) int8: MOVE_* class per gate
+    #: Steady-supply cumulative draws: the i-th gate's zeros are the
+    #: ``zero_seq[i]``-th ... drawn from the global pool (program order).
+    zero_seq: np.ndarray  # (gates,) float64: ZEROS_PER_QEC * (1..n)
+    pi8_seq: np.ndarray  # (pi8_count,) float64: 1..pi8_count
+    #: Dedicated-supply cumulative draws per home qubit: gate i's zeros
+    #: bring its home generator's counter to ``home_zero_rank[i]``.
+    home: np.ndarray  # (gates,) intp: q0 — where ancillae are acquired
+    pi8_home: np.ndarray  # (pi8_count,) intp: home of each pi/8 consumer
+    home_zero_rank: np.ndarray  # (gates,) float64
+    home_pi8_rank: np.ndarray  # (pi8_count,) float64
+    #: Total per-qubit consumption, for advancing dedicated counters
+    #: (plain int lists: consumed by DedicatedSupply.advance_per_qubit).
+    zero_home_totals: List[int]
+    pi8_home_totals: List[int]
+
+
+def _build_batch_arrays(cc: CompiledCircuit) -> _BatchArrays:
+    n = cc.num_gates
+    nq, nb = cc.num_qubits, cc.num_bits
+    q0 = np.array(cc.q0, dtype=np.intp)
+    q1 = np.array(cc.q1, dtype=np.intp)
+    q2 = np.array(cc.q2, dtype=np.intp)
+    cond = np.array(cc.cond_id, dtype=np.intp)
+    result = np.array(cc.result_id, dtype=np.intp)
+    latency = np.array(cc.latency_us, dtype=np.float64)
+    # -1 sentinels -> dummy columns.
+    q1 = np.where(q1 < 0, nq, q1)
+    q2 = np.where(q2 < 0, nq, q2)
+    cond = np.where(cond < 0, nb, cond)
+    result = np.where(result < 0, nb, result)
+    df = dataflow_metadata(cc)
+    levels = []
+    for lv in range(df.num_levels):
+        g = df.level_order[df.level_offsets[lv] : df.level_offsets[lv + 1]]
+        levels.append(
+            _Level(
+                gates=g,
+                q0=q0[g],
+                q1=q1[g],
+                q2=q2[g],
+                cond=cond[g],
+                result=result[g],
+                latency=latency[g][:, None],
+                has_q1=bool((q1[g] != nq).any()),
+                has_q2=bool((q2[g] != nq).any()),
+                has_cond=bool((cond[g] != nb).any()),
+                has_result=bool((result[g] != nb).any()),
+            )
+        )
+    zero_count = [0] * nq
+    pi8_count = [0] * nq
+    home_zero_rank = np.empty(n, dtype=np.float64)
+    home_pi8_rank = []
+    pi8_home = []
+    for i, a in enumerate(cc.q0):
+        zero_count[a] += ZEROS_PER_QEC
+        home_zero_rank[i] = zero_count[a]
+        if cc.pi8_flag[i]:
+            pi8_count[a] += 1
+            pi8_home.append(a)
+            home_pi8_rank.append(pi8_count[a])
+    return _BatchArrays(
+        levels=tuple(levels),
+        move_kind=np.array(cc.move_kind, dtype=np.int8),
+        zero_seq=ZEROS_PER_QEC * np.arange(1, n + 1, dtype=np.float64),
+        pi8_seq=np.arange(1, cc.pi8_count + 1, dtype=np.float64),
+        home=q0,
+        pi8_home=np.array(pi8_home, dtype=np.intp),
+        home_zero_rank=home_zero_rank,
+        home_pi8_rank=np.array(home_pi8_rank, dtype=np.float64),
+        zero_home_totals=zero_count,
+        pi8_home_totals=pi8_count,
+    )
+
+
+_BATCH_CACHE: "weakref.WeakKeyDictionary[CompiledCircuit, _BatchArrays]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _batch_arrays(cc: CompiledCircuit) -> _BatchArrays:
+    arrays = _BATCH_CACHE.get(cc)
+    if arrays is None:
+        arrays = _build_batch_arrays(cc)
+        _BATCH_CACHE[cc] = arrays
+    return arrays
+
+
+# ----------------------------------------------------------------------
+# Ready matrices: supply availability as (points, gates) lower bounds.
+
+
+def steady_ready_matrix(
+    cc: CompiledCircuit,
+    zero_rates: Optional[np.ndarray],
+    zero_consumed: Optional[np.ndarray],
+    pi8_rates: Optional[np.ndarray],
+    pi8_consumed: Optional[np.ndarray],
+    *,
+    gate_major: bool = False,
+) -> Optional[np.ndarray]:
+    """``(points, gates)`` ancilla-ready lower bounds for steady supplies.
+
+    The point-axis generalization of
+    :func:`repro.arch.simulator._steady_ready_times`: the k-th ancilla of
+    a kind exists at ``k / rate``, evaluated here as one broadcast
+    division per kind. A kind whose rate vector is None is untracked for
+    the whole batch (it never constrains); a zero rate divides to
+    infinity, matching ``_RateCounter.acquire``'s starvation behavior.
+
+    ``gate_major=True`` returns the transposed ``(gates, points)``
+    layout the level kernel gathers from (contiguous per-level rows);
+    the default is a transposed view of the same storage — element
+    values are identical either way.
+    """
+    ba = _batch_arrays(cc)
+    points = len(zero_rates if zero_rates is not None else pi8_rates)
+
+    def per_kind(rates, consumed, seq):
+        # consumed == 0 for fresh supplies (every sweep point): the add
+        # contributes nothing bit-exactly (0 + x == x), so skip it.
+        if consumed.any():
+            needed = seq[:, None] + consumed[None, :]
+        else:
+            needed = seq[:, None]
+        with np.errstate(divide="ignore"):
+            return needed / rates[None, :]
+
+    ready = None
+    if zero_rates is not None:
+        ready = per_kind(zero_rates, zero_consumed, ba.zero_seq)
+    if pi8_rates is not None and cc.pi8_count:
+        pi8_ready = per_kind(pi8_rates, pi8_consumed, ba.pi8_seq)
+        if ready is None:
+            ready = np.zeros((cc.num_gates, points))
+        index = cc.pi8_indices
+        ready[index] = np.maximum(ready[index], pi8_ready)
+    if ready is None:
+        return None
+    return ready if gate_major else ready.T
+
+
+def dedicated_ready_matrix(
+    cc: CompiledCircuit,
+    zero_rates: Optional[np.ndarray],
+    zero_consumed: Optional[np.ndarray],
+    pi8_rates: Optional[np.ndarray],
+    pi8_consumed: Optional[np.ndarray],
+    *,
+    gate_major: bool = False,
+) -> Optional[np.ndarray]:
+    """``(points, gates)`` ready lower bounds for per-qubit generators.
+
+    Rate/consumed inputs are ``(points, num_qubits)`` matrices (from
+    :meth:`DedicatedSupply.dedicated_state`). Consumption per generator
+    is fixed by the gate sequence alone — gate ``i`` brings its home
+    qubit's counter to a precomputed rank — so availability is again one
+    broadcast division per kind, with zero-rate generators dividing to
+    infinity exactly like the inlined counters in ``_run_dedicated``.
+    ``gate_major=True`` returns the ``(gates, points)`` layout; the
+    default is a transposed view of the same storage.
+    """
+    ba = _batch_arrays(cc)
+    points = len(zero_rates if zero_rates is not None else pi8_rates)
+
+    def per_kind(rates, consumed, home, rank):
+        # (qubits, points) contiguous so home-row gathers are cheap.
+        rates_t = np.ascontiguousarray(rates.T)
+        # consumed == 0 for fresh supplies (every sweep point): the add
+        # contributes nothing bit-exactly (0 + x == x), so skip it.
+        if consumed.any():
+            needed = np.ascontiguousarray(consumed.T)[home]
+            needed += rank[:, None]
+        else:
+            needed = rank[:, None]
+        with np.errstate(divide="ignore"):
+            return needed / rates_t[home]
+
+    ready = None
+    if zero_rates is not None:
+        ready = per_kind(zero_rates, zero_consumed, ba.home, ba.home_zero_rank)
+    if pi8_rates is not None and cc.pi8_count:
+        pi8_ready = per_kind(
+            pi8_rates, pi8_consumed, ba.pi8_home, ba.home_pi8_rank
+        )
+        if ready is None:
+            ready = np.zeros((cc.num_gates, points))
+        index = cc.pi8_indices
+        ready[index] = np.maximum(ready[index], pi8_ready)
+    if ready is None:
+        return None
+    return ready if gate_major else ready.T
+
+
+# ----------------------------------------------------------------------
+# The batched kernel
+
+
+def _run_levels(
+    cc: CompiledCircuit,
+    points: int,
+    movement: Optional[np.ndarray],
+    ready: Optional[np.ndarray],
+    qec: float,
+) -> np.ndarray:
+    """Execute all ``points`` columns in one sweep over dependency levels.
+
+    State is gate-major — ``(num_qubits + 1, points)`` — so per-level
+    gathers and scatters touch contiguous rows; ``ready`` (when given)
+    is likewise ``(gates, points)``. Per-point arithmetic replays the
+    serial hot loops' exact operation order — operand/bit max chain,
+    movement add, supply max, then ``+ latency`` followed by ``+ qec``
+    as two separate additions (fusing them would change rounding) — so
+    every column is bit-identical to a serial run of that point.
+    """
+    nq, nb = cc.num_qubits, cc.num_bits
+    ba = _batch_arrays(cc)
+    qubit_free = np.zeros((nq + 1, points))
+    bits = np.zeros((nb + 1, points))
+    for level in ba.levels:
+        t = qubit_free[level.q0]  # fancy gather: a fresh copy
+        if level.has_q1:
+            np.maximum(t, qubit_free[level.q1], out=t)
+            if level.has_q2:
+                np.maximum(t, qubit_free[level.q2], out=t)
+        if level.has_cond:
+            np.maximum(t, bits[level.cond], out=t)
+        if movement is not None:
+            t += movement[level.gates][:, None]
+        if ready is not None:
+            np.maximum(t, ready[level.gates], out=t)
+        t += level.latency
+        t += qec
+        # Scatters cannot collide: same-level gates touch disjoint qubits
+        # (a shared qubit is a dependency edge), and duplicate result-bit
+        # writers resolve last-in-program-order, like the serial loop.
+        qubit_free[level.q0] = t
+        if level.has_q1:
+            qubit_free[level.q1] = t
+            if level.has_q2:
+                qubit_free[level.q2] = t
+            # Re-pin the dummy row the sentinel scatters just dirtied.
+            qubit_free[nq] = 0.0
+        if level.has_result:
+            bits[level.result] = t
+            bits[nb] = 0.0
+    if nq == 0:
+        return np.zeros(points)
+    return qubit_free[:nq].max(axis=0)
+
+
+# ----------------------------------------------------------------------
+# Supply classification and the public batch entry point
+
+
+def _steady_signature(cc: CompiledCircuit, supply: SteadyRateSupply):
+    """Which kinds constrain this circuit: sub-batch grouping key."""
+    zero = supply.steady_state(ZERO) is not None
+    pi8 = supply.steady_state(PI8) is not None and cc.pi8_count > 0
+    return zero, pi8
+
+
+def _dedicated_signature(cc: CompiledCircuit, supply: DedicatedSupply):
+    zero = supply.dedicated_state(ZERO) is not None
+    pi8 = supply.dedicated_state(PI8) is not None and cc.pi8_count > 0
+    return zero, pi8
+
+
+def simulate_batch(
+    circuit: Circuit,
+    supplies: Sequence[AncillaSupply],
+    tech: TechnologyParams = ION_TRAP,
+    *,
+    movement_penalty_us: float = 0.0,
+    two_qubit_movement_penalty_us: Optional[float] = None,
+    cqla: Optional[CqlaConfig] = None,
+    compiled: Optional[CompiledCircuit] = None,
+) -> List[SimulationResult]:
+    """Simulate one design point per entry of ``supplies``, batched.
+
+    Every point shares the circuit, technology, movement penalties and
+    (optional) CQLA configuration; points differ only in their ancilla
+    supply — exactly the shape of a Figure 8 / Figure 15 sweep axis.
+    Results are **bit-identical** to running
+    ``DataflowSimulator(...).run()`` per point, including the observable
+    supply state afterwards (steady and dedicated counters advance by
+    the same amounts).
+
+    Recognized supply models (:class:`InfiniteSupply`,
+    :class:`SteadyRateSupply`/:class:`PooledSupply`,
+    :class:`DedicatedSupply` — exact ``acquire``, no overrides) execute
+    through the level-vectorized kernel; anything else, and every point
+    when ``cqla`` is given, falls back to a per-point serial simulator
+    transparently.
+    """
+
+    def fallback(supply: AncillaSupply) -> SimulationResult:
+        return DataflowSimulator(
+            circuit,
+            tech,
+            supply=supply,
+            movement_penalty_us=movement_penalty_us,
+            two_qubit_movement_penalty_us=two_qubit_movement_penalty_us,
+            cqla=cqla,
+            compiled=compiled,
+        ).run()
+
+    if not supplies:
+        return []
+    if cqla is not None:
+        return [fallback(supply) for supply in supplies]
+    probe = DataflowSimulator(
+        circuit,
+        tech,
+        movement_penalty_us=movement_penalty_us,
+        two_qubit_movement_penalty_us=two_qubit_movement_penalty_us,
+        compiled=compiled,
+    )
+    cc = probe.compiled
+    n = cc.num_gates
+    if n == 0:
+        return [SimulationResult(0.0, 0, 0, 0, 0, 0) for _ in supplies]
+    qec = LogicalLatencyModel(tech).qec_interaction_latency()
+    move_1q = movement_penalty_us
+    move_2q = (
+        two_qubit_movement_penalty_us
+        if two_qubit_movement_penalty_us is not None
+        else movement_penalty_us
+    )
+    teleports = movement_teleports(cc, move_1q, move_2q, tech)
+    movement = None
+    if move_1q or move_2q:
+        table = np.zeros(3)
+        table[MOVE_NONE] = 0.0
+        table[MOVE_ONE_QUBIT] = move_1q
+        table[MOVE_TWO_QUBIT] = move_2q
+        movement = table[_batch_arrays(cc).move_kind]
+
+    def result(makespan: float) -> SimulationResult:
+        return SimulationResult(
+            makespan_us=float(makespan),
+            gates=n,
+            zero_ancillae_consumed=ZEROS_PER_QEC * n,
+            pi8_ancillae_consumed=cc.pi8_count,
+            cache_misses=0,
+            teleports=teleports,
+        )
+
+    out: List[Optional[SimulationResult]] = [None] * len(supplies)
+    # Group batchable points by sub-batch signature so each group shares
+    # one ready matrix (mixed tracked/untracked kinds cannot).
+    unconstrained: List[int] = []
+    steady_groups: dict = {}
+    dedicated_groups: dict = {}
+    for i, supply in enumerate(supplies):
+        impl = supply_acquire_impl(supply)
+        if impl is InfiniteSupply.acquire:
+            unconstrained.append(i)
+        elif impl is SteadyRateSupply.acquire:
+            signature = _steady_signature(cc, supply)
+            if signature == (False, False):
+                unconstrained.append(i)
+            else:
+                steady_groups.setdefault(signature, []).append(i)
+        elif impl is DedicatedSupply.acquire:
+            signature = _dedicated_signature(cc, supply)
+            if signature == (False, False):
+                unconstrained.append(i)
+            else:
+                dedicated_groups.setdefault(signature, []).append(i)
+        else:
+            out[i] = fallback(supply)
+
+    # An aliased supply object at several constrained points cannot be
+    # batched faithfully: serial per-point runs would thread its consumed
+    # state from one point into the next, while a batch snapshots the
+    # state once. Fail loud rather than silently diverge. (Stateless /
+    # unconstrained duplicates are harmless; per-point fallbacks replay
+    # state sequentially in index order, like a serial loop.)
+    seen_ids: dict = {}
+    for group in (steady_groups, dedicated_groups):
+        for indices in group.values():
+            for i in indices:
+                j = seen_ids.setdefault(id(supplies[i]), i)
+                if j != i:
+                    raise ValueError(
+                        f"supplies[{j}] and supplies[{i}] are the same "
+                        "object; rate-limited supplies must be distinct "
+                        "per point (consumption state cannot be shared "
+                        "within one batch)"
+                    )
+
+    def advance(index: int) -> None:
+        supply = supplies[index]
+        if isinstance(supply, SteadyRateSupply):
+            supply.advance(ZERO, ZEROS_PER_QEC * n)
+            supply.advance(PI8, cc.pi8_count)
+        elif isinstance(supply, DedicatedSupply):
+            ba = _batch_arrays(cc)
+            supply.advance_per_qubit(ZERO, ba.zero_home_totals)
+            supply.advance_per_qubit(PI8, ba.pi8_home_totals)
+
+    if unconstrained:
+        # All such points produce identical results: one column suffices.
+        makespan = _run_levels(cc, 1, movement, None, qec)[0]
+        for i in unconstrained:
+            out[i] = result(makespan)
+            advance(i)
+
+    for (track_zero, track_pi8), indices in steady_groups.items():
+        states = [
+            (
+                supplies[i].steady_state(ZERO) if track_zero else None,
+                supplies[i].steady_state(PI8) if track_pi8 else None,
+            )
+            for i in indices
+        ]
+        ready = steady_ready_matrix(
+            cc,
+            np.array([s[0][0] for s in states]) if track_zero else None,
+            np.array([float(s[0][1]) for s in states]) if track_zero else None,
+            np.array([s[1][0] for s in states]) if track_pi8 else None,
+            np.array([float(s[1][1]) for s in states]) if track_pi8 else None,
+            gate_major=True,
+        )
+        makespans = _run_levels(cc, len(indices), movement, ready, qec)
+        for i, makespan in zip(indices, makespans):
+            out[i] = result(makespan)
+            advance(i)
+
+    for (track_zero, track_pi8), indices in dedicated_groups.items():
+        states = [
+            (
+                supplies[i].dedicated_state(ZERO) if track_zero else None,
+                supplies[i].dedicated_state(PI8) if track_pi8 else None,
+            )
+            for i in indices
+        ]
+        ready = dedicated_ready_matrix(
+            cc,
+            np.array([s[0][0] for s in states]) if track_zero else None,
+            np.array([s[0][1] for s in states], dtype=np.float64)
+            if track_zero
+            else None,
+            np.array([s[1][0] for s in states]) if track_pi8 else None,
+            np.array([s[1][1] for s in states], dtype=np.float64)
+            if track_pi8
+            else None,
+            gate_major=True,
+        )
+        makespans = _run_levels(cc, len(indices), movement, ready, qec)
+        for i, makespan in zip(indices, makespans):
+            out[i] = result(makespan)
+            advance(i)
+
+    return out

@@ -27,10 +27,16 @@ Two engines execute this model:
 * :meth:`DataflowSimulator.run_legacy` — the original per-gate-object
   reference loop, kept as the executable specification the compiled
   engine is validated against.
+
+A third engine lives in :mod:`repro.arch.batched`: it simulates a whole
+*sweep* of design points (one supply per point) in a single vectorized
+pass over dependency levels, bit-identical to running either engine here
+once per point.
 """
 
 from __future__ import annotations
 
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 from heapq import heapify, heapreplace
@@ -133,6 +139,40 @@ class _PortBank:
         return end
 
 
+def supply_acquire_impl(supply: AncillaSupply):
+    """The supply's class-level ``acquire``, or None when overridden.
+
+    The engine-dispatch rule both the serial and the point-batched
+    engines share: recognized models (exact, un-overridden ``acquire``)
+    get allocation-free fast paths; anything else — a custom
+    :class:`AncillaSupply`, a subclass overriding ``acquire``, or an
+    instance-level monkeypatch — is queried per gate like the reference
+    loop.
+    """
+    if "acquire" in getattr(supply, "__dict__", {}):
+        return None
+    return type(supply).acquire
+
+
+def movement_teleports(
+    cc: CompiledCircuit, move_1q: float, move_2q: float, tech: TechnologyParams
+) -> int:
+    """Teleports implied by movement penalties alone (no cache traffic).
+
+    A movement penalty at least as long as a teleport is one (two for
+    two-qubit gates, which move both operands) — the accounting rule
+    ``run_legacy`` applies per gate, evaluated in closed form here for
+    both fast engines.
+    """
+    t_teleport = teleport_latency(tech)
+    teleports = 0
+    if move_1q and move_1q >= t_teleport:
+        teleports += cc.one_qubit_moves
+    if move_2q and move_2q >= t_teleport:
+        teleports += 2 * cc.two_qubit_moves
+    return teleports
+
+
 class DataflowSimulator:
     """Simulates kernel execution under an architecture's constraints.
 
@@ -208,27 +248,15 @@ class DataflowSimulator:
             return SimulationResult(0.0, 0, 0, 0, 0, 0)
         supply = self.supply
         qec = self._logical.qec_interaction_latency()
-        t_teleport = teleport_latency(self.tech)
         move_1q = self.move_1q
         move_2q = self.move_2q
-        teleports = 0
-        if move_1q and move_1q >= t_teleport:
-            teleports += cc.one_qubit_moves
-        if move_2q and move_2q >= t_teleport:
-            teleports += 2 * cc.two_qubit_moves
+        teleports = movement_teleports(cc, move_1q, move_2q, self.tech)
         movement = None
         if move_1q or move_2q:
             table = (0.0, move_1q, move_2q)
             movement = [table[k] for k in cc.move_kind]
-        # Supply dispatch: recognized models get allocation-free paths;
-        # anything else — a custom AncillaSupply, a subclass overriding
-        # acquire, or an instance-level acquire monkeypatch — is queried
-        # per gate exactly like the reference loop.
-        if "acquire" in getattr(supply, "__dict__", {}):
-            acquire_impl = None
-        else:
-            acquire_impl = type(supply).acquire
-        supply_ready: Optional[List[float]] = None
+        acquire_impl = supply_acquire_impl(supply)
+        supply_ready: Optional[np.ndarray] = None
         steady: Optional[SteadyRateSupply] = None
         dedicated: Optional[DedicatedSupply] = None
         generic = None
@@ -259,7 +287,7 @@ class DataflowSimulator:
             steady.advance(ZERO, ZEROS_PER_QEC * n)
             steady.advance(PI8, cc.pi8_count)
         return SimulationResult(
-            makespan_us=makespan,
+            makespan_us=float(makespan),
             gates=n,
             zero_ancillae_consumed=ZEROS_PER_QEC * n,
             pi8_ancillae_consumed=cc.pi8_count,
@@ -349,9 +377,21 @@ class DataflowSimulator:
 # bit-identical rather than merely approximately equal.
 
 
+#: Memoized steady-supply ready vectors: per compiled circuit (weak), a
+#: small LRU of rates-fingerprint -> read-only ndarray. Sweeps construct
+#: a fresh supply per design point, so within one sweep each fingerprint
+#: is computed once; across repeated evaluations of the same point the
+#: whole vector is reused. Bounded so pathological rate churn cannot
+#: accumulate unbounded float matrices.
+_READY_CACHE: "weakref.WeakKeyDictionary[CompiledCircuit, OrderedDict]" = (
+    weakref.WeakKeyDictionary()
+)
+_READY_CACHE_MAX = 128
+
+
 def _steady_ready_times(
     cc: CompiledCircuit, supply: SteadyRateSupply
-) -> Optional[List[float]]:
+) -> Optional[np.ndarray]:
     """Per-gate ancilla-ready lower bounds for a steady-rate supply.
 
     Consumption order under the reference loop is program order (two
@@ -360,8 +400,25 @@ def _steady_ready_times(
     the whole circuit in one vectorized pass. A zero-rate kind yields
     infinity (matching ``_RateCounter.acquire``); an untracked kind
     contributes no constraint.
+
+    Returns a read-only float64 ndarray (consumed by the hot loops as-is
+    — no list conversion) memoized per ``(circuit, rates-fingerprint)``,
+    or None when the supply never constrains this circuit.
     """
     n = cc.num_gates
+    fingerprint = (
+        supply.rate_per_us(ZERO),
+        supply.consumed_so_far(ZERO),
+        supply.rate_per_us(PI8),
+        supply.consumed_so_far(PI8),
+    )
+    per_cc = _READY_CACHE.get(cc)
+    if per_cc is None:
+        per_cc = OrderedDict()
+        _READY_CACHE[cc] = per_cc
+    elif fingerprint in per_cc:
+        per_cc.move_to_end(fingerprint)
+        return per_cc[fingerprint]
     ready = None
     zero_rate = supply.rate_per_us(ZERO)
     if zero_rate is not None:
@@ -385,16 +442,26 @@ def _steady_ready_times(
             ready = np.zeros(n)
         index = cc.pi8_indices
         ready[index] = np.maximum(ready[index], pi8_ready)
-    return None if ready is None else ready.tolist()
+    if ready is not None:
+        ready.setflags(write=False)
+    per_cc[fingerprint] = ready
+    if len(per_cc) > _READY_CACHE_MAX:
+        per_cc.popitem(last=False)
+    return ready
 
 
 def _run_flat(
     cc: CompiledCircuit,
     movement: Optional[List[float]],
-    supply_ready: Optional[List[float]],
+    supply_ready: Optional[np.ndarray],
     qec: float,
 ) -> float:
-    """Hot loop for infinite / steady-rate supplies without a cache."""
+    """Hot loop for infinite / steady-rate supplies without a cache.
+
+    ``supply_ready`` is iterated directly (ndarray elements compare and
+    add like floats, IEEE-identically), so the precomputed ready vector
+    flows from :func:`_steady_ready_times` to here with no conversion.
+    """
     qubit_free = [0.0] * cc.num_qubits
     bits = [0.0] * cc.num_bits
     move_iter = movement if movement is not None else repeat(0.0)
@@ -439,14 +506,18 @@ def _run_dedicated(
 ) -> float:
     """Hot loop for per-qubit dedicated generators (the QLA model).
 
-    Counter arithmetic is inlined: availability depends on the consuming
-    gate's home qubit, so there is no closed form over gate index alone.
+    Counter arithmetic is inlined over the supply's live rate/consumed
+    lists (mutated in place, so observable state matches a per-gate
+    ``acquire`` walk): availability depends on the consuming gate's home
+    qubit, so there is no closed form over gate index alone.
     """
     qubit_free = [0.0] * cc.num_qubits
     bits = [0.0] * cc.num_bits
     move_iter = movement if movement is not None else repeat(0.0)
-    zero_counters = supply.counters(ZERO)
-    pi8_counters = supply.counters(PI8)
+    zero_state = supply.dedicated_state(ZERO)
+    pi8_state = supply.dedicated_state(PI8)
+    zero_rates, zero_consumed = zero_state if zero_state else (None, None)
+    pi8_rates, pi8_consumed = pi8_state if pi8_state else (None, None)
     for a, b, c, cond, move, pi8, latency, result in zip(
         cc.q0, cc.q1, cc.q2, cc.cond_id, move_iter, cc.pi8_flag,
         cc.latency_us, cc.result_id,
@@ -466,22 +537,22 @@ def _run_dedicated(
                 t = v
         if move:
             t += move
-        if zero_counters is not None:
-            counter = zero_counters[a]
-            if counter.rate == 0.0:
+        if zero_rates is not None:
+            rate = zero_rates[a]
+            if rate == 0.0:
                 t = _INF
             else:
-                counter.consumed += ZEROS_PER_QEC
-                v = counter.consumed / counter.rate
+                zero_consumed[a] += ZEROS_PER_QEC
+                v = zero_consumed[a] / rate
                 if v > t:
                     t = v
-        if pi8 and pi8_counters is not None:
-            counter = pi8_counters[a]
-            if counter.rate == 0.0:
+        if pi8 and pi8_rates is not None:
+            rate = pi8_rates[a]
+            if rate == 0.0:
                 t = _INF
             else:
-                counter.consumed += 1
-                v = counter.consumed / counter.rate
+                pi8_consumed[a] += 1
+                v = pi8_consumed[a] / rate
                 if v > t:
                     t = v
         finish = t + latency + qec
@@ -547,7 +618,7 @@ def _run_cache(
     cqla: CqlaConfig,
     tech: TechnologyParams,
     movement: Optional[List[float]],
-    supply_ready: Optional[List[float]],
+    supply_ready: Optional[np.ndarray],
     acquire,
     qec: float,
 ):

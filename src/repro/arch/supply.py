@@ -13,7 +13,7 @@ QEC) and "pi8" (encoded pi/8 ancillae for non-transversal gates).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Protocol
+from typing import Dict, List, Optional, Protocol, Tuple
 
 ZERO = "zero"
 PI8 = "pi8"
@@ -111,6 +111,20 @@ class SteadyRateSupply:
         if counter is not None and counter.rate != 0 and count > 0:
             counter.consumed += count
 
+    def steady_state(self, kind: str) -> Optional[Tuple[float, int]]:
+        """``(rate_per_us, consumed_so_far)`` for ``kind``, or None.
+
+        The array form the point-batched dataflow engine consumes: one
+        ``(rate, consumed)`` pair per sweep point stacks into the rate
+        vector behind its ``(points, gates)`` ready matrix
+        (:func:`repro.arch.batched.steady_ready_matrix`). None means the
+        kind is untracked and never constrains.
+        """
+        counter = self._counters.get(kind)
+        if counter is None:
+            return None
+        return counter.rate, counter.consumed
+
 
 class PooledSupply(SteadyRateSupply):
     """Shared factories feeding all consumers — the Fully-Multiplexed model.
@@ -128,6 +142,12 @@ class DedicatedSupply:
     of idle qubits cannot help busy ones: the imbalance the paper blames
     for QLA's two-orders-of-magnitude area overhead.
 
+    Per-qubit state lives in flat parallel lists (rates, consumed counts)
+    rather than counter objects: the compiled dataflow engine indexes the
+    lists directly in its hot loop, and the point-batched engine lifts
+    them wholesale into ``(points, qubits)`` matrices — both without any
+    per-counter attribute traffic.
+
     Args:
         rates_per_ms: *Per-qubit* production rate per kind.
         num_qubits: Number of data qubits (each gets its own counters).
@@ -136,21 +156,59 @@ class DedicatedSupply:
     def __init__(self, rates_per_ms: Dict[str, float], num_qubits: int) -> None:
         if num_qubits < 1:
             raise ValueError(f"num_qubits must be >= 1, got {num_qubits}")
-        self._counters: Dict[str, list] = {
-            kind: [_RateCounter(rate / 1000.0) for _ in range(num_qubits)]
-            for kind, rate in rates_per_ms.items()
-        }
+        self._rates: Dict[str, List[float]] = {}
+        self._consumed: Dict[str, List[int]] = {}
+        for kind, rate in rates_per_ms.items():
+            rate_per_us = rate / 1000.0
+            if rate_per_us < 0:
+                raise ValueError(f"rate must be >= 0, got {rate_per_us}")
+            self._rates[kind] = [rate_per_us] * num_qubits
+            self._consumed[kind] = [0] * num_qubits
 
     def acquire(self, kind: str, qubit: int, count: int, earliest: float) -> float:
-        counters = self._counters.get(kind)
-        if counters is None:
+        # Same arithmetic and ordering as _RateCounter.acquire.
+        rates = self._rates.get(kind)
+        if rates is None or count <= 0:
             return earliest
-        return counters[qubit].acquire(count, earliest)
+        rate = rates[qubit]
+        if rate == 0:
+            return float("inf")
+        consumed = self._consumed[kind]
+        consumed[qubit] += count
+        produced_by = consumed[qubit] / rate
+        return max(earliest, produced_by)
 
-    def counters(self, kind: str) -> Optional[List[_RateCounter]]:
-        """Per-qubit counters for ``kind`` (None when the kind is untracked).
+    def dedicated_state(
+        self, kind: str
+    ) -> Optional[Tuple[List[float], List[int]]]:
+        """Per-qubit ``(rates, consumed)`` vectors for ``kind``, or None.
 
-        Exposed so the compiled dataflow engine can inline the counter
-        arithmetic instead of dispatching through :meth:`acquire` per gate.
+        The array form both fast engines consume: the compiled serial
+        loop indexes (and mutates) the live lists in place of per-gate
+        :meth:`acquire` dispatch, and the point-batched engine stacks one
+        pair per sweep point into the ``(points, qubits)`` matrices
+        behind :func:`repro.arch.batched.dedicated_ready_matrix`. The
+        returned lists are this supply's live state — treat them as
+        read-only unless you are replaying consumption exactly.
         """
-        return self._counters.get(kind)
+        rates = self._rates.get(kind)
+        if rates is None:
+            return None
+        return rates, self._consumed[kind]
+
+    def advance_per_qubit(self, kind: str, counts: List[int]) -> None:
+        """Record per-qubit consumption without time queries.
+
+        ``counts[q]`` ancillae of ``kind`` are charged to qubit ``q``'s
+        generator, mirroring :meth:`acquire`'s bookkeeping (zero-rate
+        generators never advance), so a batched run leaves the same
+        observable state as a gate-by-gate one.
+        """
+        rates = self._rates.get(kind)
+        if rates is None:
+            return
+        consumed = self._consumed[kind]
+        consumed[:] = [
+            c if (n == 0 or r == 0.0) else c + n
+            for c, r, n in zip(consumed, rates, counts)
+        ]

@@ -14,8 +14,19 @@ design points and batch them through
 ``python -m repro explore``. The kernel is lowered to its compiled array
 form exactly once per sweep (or once per worker process under
 ``workers=N`` — the process-pool initializer compiles it, and each task
-is a bare design-point dict). Simulation is deterministic and points
+is a bare design-point chunk). Simulation is deterministic and points
 come back in order, so parallel results are identical to serial ones.
+
+Under the default compiled engine the evaluator resolves each sweep's
+homogeneous point groups through the **point-batched** engine
+(:mod:`repro.arch.batched`): the whole throughput axis — and each
+QLA/Multiplexed area ladder — executes as one vectorized pass over a
+``(points, qubits)`` state matrix rather than one interpreted walk per
+point, bit-identically (roughly an order of magnitude faster at
+Figure-8/15 grid sizes; see ``benchmarks/test_bench_sweeps.py``). CQLA
+ladders fall back to the per-point path (cache-port booking couples
+start times across gates, so there is no closed point-parallel form),
+as does ``engine="legacy"``.
 """
 
 from __future__ import annotations

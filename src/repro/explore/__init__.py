@@ -46,15 +46,18 @@ from repro.explore.evaluator import (
     Evaluator,
     KernelSummary,
     evaluate_design_point,
+    evaluate_design_points,
 )
 from repro.explore.objectives import (
     AdcrObjective,
+    AncillaQualityObjective,
     AreaObjective,
     ConstrainedObjective,
     LatencyObjective,
     Objective,
     get_objective,
     objective_names,
+    pi8_ancilla_quality,
 )
 from repro.explore.space import (
     Categorical,
@@ -77,6 +80,7 @@ from repro.explore.strategies import (
 __all__ = [
     "AdaptiveStrategy",
     "AdcrObjective",
+    "AncillaQualityObjective",
     "AreaObjective",
     "Categorical",
     "ConstrainedObjective",
@@ -95,6 +99,7 @@ __all__ = [
     "Strategy",
     "architecture_space",
     "evaluate_design_point",
+    "evaluate_design_points",
     "explore",
     "format_exploration",
     "get_objective",
@@ -102,6 +107,7 @@ __all__ = [
     "key_digest",
     "objective_names",
     "pareto_front",
+    "pi8_ancilla_quality",
     "strategy_names",
     "throughput_space",
 ]

@@ -10,10 +10,18 @@ the compiled dataflow engine. It
 * deduplicates repeated points within a batch;
 * consults a :class:`~repro.explore.store.ResultStore` so warm re-runs
   and refined searches perform zero repeat simulations;
-* batches cache misses through ``workers=N`` processes, compiling the
+* resolves homogeneous miss batches through the **point-batched** engine
+  (:func:`repro.arch.batched.simulate_batch`): misses sharing a kernel
+  and movement discipline — every steady-supply point, and every
+  QLA/Multiplexed architecture point of one configuration — become one
+  numpy pass over a ``(points, qubits)`` state matrix instead of N
+  serial ``run()`` walks, bit-identically. CQLA points (the cache model
+  has no closed point-parallel form) and ``engine="legacy"`` runs fall
+  back to the per-point path unchanged;
+* shards cache misses across ``workers=N`` processes, compiling the
   kernel **once per worker** via a ``ProcessPoolExecutor`` initializer —
-  tasks are bare point dicts, so nothing heavyweight is re-pickled per
-  chunk.
+  tasks are bare point-dict chunks, so nothing heavyweight is re-pickled,
+  and each worker batch-resolves its shard of the points axis.
 
 Two construction modes:
 
@@ -186,6 +194,97 @@ def _canonicalize(
     return canonical
 
 
+@dataclass(frozen=True)
+class _LoweredPoint:
+    """A canonical point resolved to concrete simulator inputs."""
+
+    supply: object
+    move_1q: float
+    move_2q: float
+    cqla: Optional[CqlaConfig]
+    factory_area: float
+
+
+def _lower_point(summary: KernelSummary, point: Dict[str, object]) -> _LoweredPoint:
+    """Resolve one *canonical* design point to supply + movement + area."""
+    tech = summary.tech
+    circuit = summary.circuit
+    if "zero_rate" in point:
+        rate = point["zero_rate"]
+        ratio = point["pi8_ratio"]
+        from repro.arch.provisioning import factory_area_for_rates
+
+        return _LoweredPoint(
+            supply=SteadyRateSupply({ZERO: rate, PI8: rate * ratio}),
+            move_1q=0.0,
+            move_2q=0.0,
+            cqla=None,
+            factory_area=factory_area_for_rates(rate, rate * ratio, tech),
+        )
+    kind = ArchitectureKind(point["arch"])
+    cache: Optional[CqlaConfig] = None
+    if kind is ArchitectureKind.QLA:
+        config = QlaConfig()
+    elif kind is ArchitectureKind.CQLA:
+        config = CqlaConfig(
+            cache_fraction=point["cqla_cache_fraction"],
+            ports=point["cqla_ports"],
+        )
+        cache = config
+    else:
+        config = MultiplexedConfig(region_span=point["region_span"])
+    factory_area = float(point["factory_area"])
+    supply = config.build_supply(
+        factory_area,
+        circuit.num_qubits,
+        summary.zero_bandwidth_per_ms,
+        summary.pi8_bandwidth_per_ms,
+        tech,
+    )
+    return _LoweredPoint(
+        supply=supply,
+        move_1q=config.movement_penalty(False, tech),
+        move_2q=config.movement_penalty(True, tech),
+        cqla=cache,
+        factory_area=factory_area,
+    )
+
+
+def _run_lowered(
+    summary: KernelSummary,
+    lowered: _LoweredPoint,
+    compiled: Optional[CompiledCircuit],
+    engine: str,
+) -> SimulationResult:
+    """One serial simulator run of an already-lowered point."""
+    sim = DataflowSimulator(
+        summary.circuit,
+        summary.tech,
+        supply=lowered.supply,
+        movement_penalty_us=lowered.move_1q,
+        two_qubit_movement_penalty_us=lowered.move_2q,
+        cqla=lowered.cqla,
+        compiled=compiled,
+    )
+    return sim.run() if engine == "compiled" else sim.run_legacy()
+
+
+def _evaluation(
+    summary: KernelSummary,
+    point: Dict[str, object],
+    lowered: _LoweredPoint,
+    result: SimulationResult,
+) -> Evaluation:
+    data_area = float(data_qubit_area(summary.data_qubits))
+    return Evaluation(
+        point=tuple(sorted(point.items())),
+        result=result,
+        factory_area=lowered.factory_area,
+        data_area=data_area,
+        total_area=lowered.factory_area + data_area,
+    )
+
+
 def evaluate_design_point(
     summary: KernelSummary,
     point: Dict[str, object],
@@ -193,55 +292,57 @@ def evaluate_design_point(
     engine: str,
 ) -> Evaluation:
     """Run one *canonical* design point through the dataflow simulator."""
-    tech = summary.tech
-    circuit = summary.circuit
-    if "zero_rate" in point:
-        rate = point["zero_rate"]
-        ratio = point["pi8_ratio"]
-        supply = SteadyRateSupply({ZERO: rate, PI8: rate * ratio})
-        sim = DataflowSimulator(circuit, tech, supply=supply, compiled=compiled)
-        from repro.arch.provisioning import factory_area_for_rates
+    lowered = _lower_point(summary, point)
+    result = _run_lowered(summary, lowered, compiled, engine)
+    return _evaluation(summary, point, lowered, result)
 
-        factory_area = factory_area_for_rates(rate, rate * ratio, tech)
-    else:
-        kind = ArchitectureKind(point["arch"])
-        cache: Optional[CqlaConfig] = None
-        if kind is ArchitectureKind.QLA:
-            config = QlaConfig()
-        elif kind is ArchitectureKind.CQLA:
-            config = CqlaConfig(
-                cache_fraction=point["cqla_cache_fraction"],
-                ports=point["cqla_ports"],
+
+def evaluate_design_points(
+    summary: KernelSummary,
+    points: Sequence[Dict[str, object]],
+    compiled: Optional[CompiledCircuit],
+    engine: str,
+) -> List[Evaluation]:
+    """Evaluate many *canonical* points, batching homogeneous runs.
+
+    Points sharing a movement discipline (all steady-supply points; all
+    architecture points of one kind/configuration) resolve through one
+    :func:`repro.arch.batched.simulate_batch` call — a single vectorized
+    pass over the whole group — instead of N serial ``run()`` walks.
+    CQLA points and the legacy engine take the per-point path. Results
+    are bit-identical to per-point evaluation either way.
+    """
+    if engine != "compiled" or len(points) < 2:
+        return [
+            evaluate_design_point(summary, point, compiled, engine)
+            for point in points
+        ]
+    lowered = [_lower_point(summary, point) for point in points]
+    out: List[Optional[Evaluation]] = [None] * len(points)
+    groups: Dict[Tuple[float, float], List[int]] = {}
+    for i, lp in enumerate(lowered):
+        if lp.cqla is not None:
+            # Cache-mode simulation has no point-parallel form.
+            out[i] = _evaluation(
+                summary, points[i], lp, _run_lowered(summary, lp, compiled, engine)
             )
-            cache = config
         else:
-            config = MultiplexedConfig(region_span=point["region_span"])
-        factory_area = float(point["factory_area"])
-        supply = config.build_supply(
-            factory_area,
-            circuit.num_qubits,
-            summary.zero_bandwidth_per_ms,
-            summary.pi8_bandwidth_per_ms,
-            tech,
-        )
-        sim = DataflowSimulator(
-            circuit,
-            tech,
-            supply=supply,
-            movement_penalty_us=config.movement_penalty(False, tech),
-            two_qubit_movement_penalty_us=config.movement_penalty(True, tech),
-            cqla=cache,
-            compiled=compiled,
-        )
-    result = sim.run() if engine == "compiled" else sim.run_legacy()
-    data_area = float(data_qubit_area(summary.data_qubits))
-    return Evaluation(
-        point=tuple(sorted(point.items())),
-        result=result,
-        factory_area=factory_area,
-        data_area=data_area,
-        total_area=factory_area + data_area,
-    )
+            groups.setdefault((lp.move_1q, lp.move_2q), []).append(i)
+    if groups:
+        from repro.arch.batched import simulate_batch
+
+        for (move_1q, move_2q), indices in groups.items():
+            results = simulate_batch(
+                summary.circuit,
+                [lowered[i].supply for i in indices],
+                summary.tech,
+                movement_penalty_us=move_1q,
+                two_qubit_movement_penalty_us=move_2q,
+                compiled=compiled,
+            )
+            for i, result in zip(indices, results):
+                out[i] = _evaluation(summary, points[i], lowered[i], result)
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -289,20 +390,46 @@ def _summary_for_spec(
     return KernelSummary.from_analysis(analysis), compiled
 
 
-def _worker_evaluate(point: Dict[str, object]) -> Evaluation:
-    engine = _WORKER["engine"]
+def _evaluate_grouped(
+    context, points: Sequence[Dict[str, object]], engine: str
+) -> List[Evaluation]:
+    """Evaluate ``points`` via batched groups, honoring ``tech_scale``.
+
+    Points are grouped by technology scale (each scale has its own
+    summary/compiled context from ``context(point)``), then each scale
+    group resolves through :func:`evaluate_design_points`. Output order
+    matches input order.
+    """
+    out: List[Optional[Evaluation]] = [None] * len(points)
+    by_scale: Dict[float, List[int]] = {}
+    for i, point in enumerate(points):
+        by_scale.setdefault(float(point.get("tech_scale", 1.0)), []).append(i)
+    for indices in by_scale.values():
+        summary, compiled = context(points[indices[0]])
+        evaluations = evaluate_design_points(
+            summary, [points[i] for i in indices], compiled, engine
+        )
+        for i, evaluation in zip(indices, evaluations):
+            out[i] = evaluation
+    return out
+
+
+def _worker_context(point: Dict[str, object]):
+    """Resolve (summary, compiled) for one point from worker state."""
     if _WORKER["mode"] == "summary":
-        summary = _WORKER["summary"]
-        compiled = _WORKER["compiled"]
-    else:
-        kernel, width, tech = _WORKER["spec"]
-        scale = float(point.get("tech_scale", 1.0))
-        cached = _WORKER["scales"].get(scale)
-        if cached is None:
-            cached = _summary_for_spec(kernel, width, tech, engine, scale)
-            _WORKER["scales"][scale] = cached
-        summary, compiled = cached
-    return evaluate_design_point(summary, point, compiled, engine)
+        return _WORKER["summary"], _WORKER["compiled"]
+    kernel, width, tech = _WORKER["spec"]
+    scale = float(point.get("tech_scale", 1.0))
+    cached = _WORKER["scales"].get(scale)
+    if cached is None:
+        cached = _summary_for_spec(kernel, width, tech, _WORKER["engine"], scale)
+        _WORKER["scales"][scale] = cached
+    return cached
+
+
+def _worker_evaluate_chunk(points: List[Dict[str, object]]) -> List[Evaluation]:
+    """One worker's shard of the points axis, batch-resolved in-process."""
+    return _evaluate_grouped(_worker_context, points, _WORKER["engine"])
 
 
 # ----------------------------------------------------------------------
@@ -319,10 +446,16 @@ class Evaluator:
         width: Kernel bit width (spec mode).
         tech: Technology parameters (spec mode; analysis mode inherits
             the analysis's).
-        engine: ``"compiled"`` (default) or ``"legacy"``.
-        workers: When > 1, evaluate store misses in this many worker
-            processes. The kernel is compiled once per worker by the pool
-            initializer; results are identical to a serial run.
+        engine: ``"compiled"`` (default) or ``"legacy"``. The compiled
+            engine batch-resolves homogeneous misses through the
+            point-batched engine (one numpy pass per group,
+            bit-identical to per-point runs); the legacy engine always
+            runs point by point.
+        workers: When > 1, shard store misses across this many worker
+            processes (each worker batch-resolves its contiguous slice
+            of the points axis). The kernel is compiled once per worker
+            by the pool initializer; results are identical to a serial
+            run.
         compiled: Optional prebuilt compiled circuit (serial runs).
         cqla: Default CQLA configuration for points that do not pin
             ``cqla_cache_fraction`` / ``cqla_ports`` explicitly.
@@ -472,8 +605,10 @@ class Evaluator:
         """Evaluate ``points``, returning evaluations aligned with them.
 
         Within the batch, identical canonical points are simulated once;
-        store hits are served from disk; the rest run serially or across
-        ``workers`` processes (deterministic either way).
+        store hits are served from disk; the remaining misses resolve in
+        homogeneous point-batched groups, serially or sharded across
+        ``workers`` processes (deterministic and bit-identical to
+        point-by-point runs either way).
         """
         canonical = [self.canonicalize(p) for p in points]
         keys = [canonical_json(c) for c in canonical]
@@ -516,6 +651,10 @@ class Evaluator:
         if workers is not None and workers > 1 and len(tasks) > 1:
             max_workers = min(workers, len(tasks))
             chunksize = math.ceil(len(tasks) / max_workers)
+            chunks = [
+                tasks[start : start + chunksize]
+                for start in range(0, len(tasks), chunksize)
+            ]
             if self._kernel is not None:
                 initializer, initargs = _init_worker_spec, (
                     self._kernel,
@@ -533,11 +672,8 @@ class Evaluator:
                 initializer=initializer,
                 initargs=initargs,
             ) as pool:
-                return list(pool.map(_worker_evaluate, tasks, chunksize=chunksize))
-        out = []
-        for cpoint in tasks:
-            summary, compiled = self._serial_context(cpoint)
-            out.append(
-                evaluate_design_point(summary, cpoint, compiled, self._engine)
-            )
-        return out
+                out: List[Evaluation] = []
+                for chunk in pool.map(_worker_evaluate_chunk, chunks):
+                    out.extend(chunk)
+                return out
+        return _evaluate_grouped(self._serial_context, tasks, self._engine)

@@ -6,13 +6,24 @@ actually pays. Objectives here score an
 :class:`~repro.explore.evaluator.Evaluation` (simulation result plus area
 accounting); **lower is better** for every objective, and infeasible
 points score ``inf`` so any feasible point beats them.
+
+Beyond the timing/area objectives, :class:`AncillaQualityObjective`
+scores the *error rate* of the architecture's pi/8 ancilla pipeline
+(Figure 5b) under the evaluated technology's fault model, powered by the
+batched Monte Carlo protocol engine
+(:func:`repro.ancilla.evaluate_pi8_ancilla_batched`) — cheap enough at
+hundreds of thousands of trials to sit inside an exploration loop, and
+memoized in-process plus (optionally) in the content-addressed result
+store so repeat scores cost nothing.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Optional, Protocol
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional, Protocol
+
+from repro.tech import ION_TRAP, ErrorRates, TechnologyParams
 
 
 class Objective(Protocol):
@@ -65,18 +76,130 @@ class AreaObjective:
         return evaluation.total_area
 
 
+# ----------------------------------------------------------------------
+# Monte-Carlo-backed ancilla quality
+
+
+#: In-process memo: (error rates, trials, seed) -> MonteCarloResult.
+#: One exploration scores hundreds of points against a handful of
+#: technologies, so almost every score is a dictionary hit.
+_MC_CACHE: Dict[tuple, object] = {}
+
+
+def pi8_ancilla_quality(
+    errors: Optional[ErrorRates] = None,
+    trials: int = 100_000,
+    seed: int = 7,
+    store=None,
+):
+    """Monte Carlo result for the Figure 5b pi/8 ancilla pipeline.
+
+    Runs :func:`repro.ancilla.evaluate_pi8_ancilla_batched` (the batched
+    protocol engine — hundreds of thousands of trials in about a second)
+    and caches the outcome twice over: in-process by
+    ``(errors, trials, seed)``, and, when a
+    :class:`~repro.explore.store.ResultStore` is given, as a
+    content-addressed record so later sessions re-read the estimate from
+    disk instead of re-sampling.
+    """
+    if errors is None:
+        errors = ION_TRAP.errors
+    key = (errors.gate, errors.movement, errors.measurement, trials, seed)
+    cached = _MC_CACHE.get(key)
+    if cached is not None:
+        return cached
+    from repro.error.montecarlo import MonteCarloResult
+
+    store_key = None
+    if store is not None:
+        store_key = {
+            "mc": "pi8_ancilla_quality",
+            "errors": asdict(errors),
+            "trials": trials,
+            "seed": seed,
+        }
+        record = store.get(store_key)
+        if record is not None:
+            try:
+                result = MonteCarloResult(
+                    trials=int(record["trials"]),
+                    good=int(record["good"]),
+                    bad=int(record["bad"]),
+                    discarded=int(record["discarded"]),
+                )
+            except (KeyError, TypeError, ValueError):
+                result = None
+            if result is not None and result.trials == trials:
+                _MC_CACHE[key] = result
+                return result
+    from repro.ancilla import evaluate_pi8_ancilla_batched
+
+    result = evaluate_pi8_ancilla_batched(trials=trials, seed=seed, errors=errors)
+    _MC_CACHE[key] = result
+    if store is not None:
+        store.put(
+            store_key,
+            {
+                "trials": result.trials,
+                "good": result.good,
+                "bad": result.bad,
+                "discarded": result.discarded,
+            },
+        )
+    return result
+
+
+@dataclass(frozen=True)
+class AncillaQualityObjective:
+    """pi/8 ancilla error rate under the technology's fault model.
+
+    Lower is better: the probability that an accepted Figure 5b ancilla
+    carries an uncorrectable residual error, estimated by the batched
+    Monte Carlo engine at ``trials`` samples. Design points share a
+    technology (area/rate dimensions do not perturb the fault model), so
+    within one exploration this objective is constant per technology —
+    useful standalone for technology what-ifs, and as the quality gate
+    in :class:`ConstrainedObjective` (``max_pi8_error_rate``).
+
+    Args:
+        tech: Technology whose error rates drive the Monte Carlo.
+        trials: Monte Carlo sample count (the accuracy knob).
+        seed: RNG seed — fixed so scores are reproducible and cacheable.
+        store: Optional result store; estimates persist across runs.
+    """
+
+    tech: TechnologyParams = ION_TRAP
+    trials: int = 100_000
+    seed: int = 7
+    store: object = field(default=None, compare=False)
+    name: str = "ancilla_quality"
+
+    def result(self):
+        """The underlying (cached) Monte Carlo estimate."""
+        return pi8_ancilla_quality(
+            self.tech.errors, self.trials, self.seed, self.store
+        )
+
+    def score(self, evaluation) -> float:
+        return self.result().error_rate
+
+
 @dataclass(frozen=True)
 class ConstrainedObjective:
     """A base objective with feasibility limits.
 
     Points violating any limit score ``inf``: "smallest chip that finishes
     within 50 ms" is ``ConstrainedObjective(AreaObjective(),
-    max_makespan_ms=50)``.
+    max_makespan_ms=50)``. ``max_pi8_error_rate`` gates on Monte-Carlo
+    ancilla quality (via ``quality``, or a default
+    :class:`AncillaQualityObjective` built on first use).
     """
 
     base: Objective
     max_total_area: Optional[float] = None
     max_makespan_ms: Optional[float] = None
+    max_pi8_error_rate: Optional[float] = None
+    quality: Optional[AncillaQualityObjective] = None
 
     @property
     def name(self) -> str:
@@ -85,6 +208,8 @@ class ConstrainedObjective:
             limits.append(f"area<={self.max_total_area:g}")
         if self.max_makespan_ms is not None:
             limits.append(f"latency<={self.max_makespan_ms:g}ms")
+        if self.max_pi8_error_rate is not None:
+            limits.append(f"pi8err<={self.max_pi8_error_rate:g}")
         suffix = ",".join(limits) or "unconstrained"
         return f"{self.base.name}[{suffix}]"
 
@@ -99,6 +224,10 @@ class ConstrainedObjective:
             and evaluation.result.makespan_ms > self.max_makespan_ms
         ):
             return math.inf
+        if self.max_pi8_error_rate is not None:
+            quality = self.quality or AncillaQualityObjective()
+            if quality.score(evaluation) > self.max_pi8_error_rate:
+                return math.inf
         return self.base.score(evaluation)
 
 
@@ -106,6 +235,7 @@ _OBJECTIVES = {
     "adcr": AdcrObjective,
     "latency": LatencyObjective,
     "area": AreaObjective,
+    "ancilla_quality": AncillaQualityObjective,
 }
 
 
@@ -117,14 +247,42 @@ def get_objective(
     name: str,
     max_total_area: Optional[float] = None,
     max_makespan_ms: Optional[float] = None,
+    *,
+    max_pi8_error_rate: Optional[float] = None,
+    tech: TechnologyParams = ION_TRAP,
+    mc_trials: int = 100_000,
+    mc_seed: int = 7,
+    store=None,
 ) -> Objective:
-    """Objective by CLI name, optionally wrapped with constraints."""
-    try:
-        base = _OBJECTIVES[name]()
-    except KeyError:
-        raise ValueError(
-            f"unknown objective {name!r}; choose from {objective_names()}"
-        ) from None
-    if max_total_area is None and max_makespan_ms is None:
+    """Objective by CLI name, optionally wrapped with constraints.
+
+    ``tech``/``mc_trials``/``mc_seed``/``store`` parameterize the
+    Monte-Carlo-backed quality machinery (the ``ancilla_quality``
+    objective and the ``max_pi8_error_rate`` constraint); the other
+    objectives ignore them.
+    """
+    quality = AncillaQualityObjective(
+        tech=tech, trials=mc_trials, seed=mc_seed, store=store
+    )
+    if name == "ancilla_quality":
+        base: Objective = quality
+    else:
+        try:
+            base = _OBJECTIVES[name]()
+        except KeyError:
+            raise ValueError(
+                f"unknown objective {name!r}; choose from {objective_names()}"
+            ) from None
+    if (
+        max_total_area is None
+        and max_makespan_ms is None
+        and max_pi8_error_rate is None
+    ):
         return base
-    return ConstrainedObjective(base, max_total_area, max_makespan_ms)
+    return ConstrainedObjective(
+        base,
+        max_total_area,
+        max_makespan_ms,
+        max_pi8_error_rate=max_pi8_error_rate,
+        quality=quality,
+    )

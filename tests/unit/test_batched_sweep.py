@@ -1,0 +1,440 @@
+"""Equivalence tests: point-batched engine vs the serial dataflow engines.
+
+The point-batched engine (:mod:`repro.arch.batched`) must be
+*bit-identical* to both serial engines — every ``SimulationResult`` field
+compared with exact equality, never approx — across all supply models
+(infinite, steady, pooled, dedicated, zero-rate and untracked edge
+cases), with identical observable supply state afterwards. Unrecognized
+supplies and CQLA cache mode must fall back to the per-point serial path
+transparently.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.arch import simulate_batch
+from repro.arch.architectures import (
+    CqlaConfig,
+    MultiplexedConfig,
+    QlaConfig,
+)
+from repro.arch.batched import (
+    _run_levels,
+    dedicated_ready_matrix,
+    steady_ready_matrix,
+)
+from repro.arch.simulator import DataflowSimulator, _steady_ready_times
+from repro.arch.supply import (
+    PI8,
+    ZERO,
+    DedicatedSupply,
+    InfiniteSupply,
+    PooledSupply,
+    SteadyRateSupply,
+)
+from repro.circuits import Circuit
+
+KERNELS = ("qrca", "qcla", "qft")
+
+_FACTORY_AREAS = (100.0, 400.0, 1600.0, 25000.0)
+
+
+class _CeilingSupply:
+    """Custom supply: ancillae materialize on 1 ms boundaries."""
+
+    def acquire(self, kind, qubit, count, earliest):
+        return math.ceil(earliest / 1000.0) * 1000.0
+
+
+def _serial(analysis, supplies, config=None, engine="compiled", cqla=None):
+    """Per-point serial results for ``supplies`` (fresh simulator each)."""
+    out = []
+    move_1q = config.movement_penalty(False, analysis.tech) if config else 0.0
+    move_2q = config.movement_penalty(True, analysis.tech) if config else 0.0
+    for supply in supplies:
+        sim = DataflowSimulator(
+            analysis.circuit,
+            analysis.tech,
+            supply=supply,
+            movement_penalty_us=move_1q,
+            two_qubit_movement_penalty_us=move_2q,
+            cqla=cqla,
+        )
+        out.append(sim.run() if engine == "compiled" else sim.run_legacy())
+    return out
+
+
+def _batched(analysis, supplies, config=None, cqla=None):
+    move_1q = config.movement_penalty(False, analysis.tech) if config else 0.0
+    move_2q = config.movement_penalty(True, analysis.tech) if config else 0.0
+    return simulate_batch(
+        analysis.circuit,
+        supplies,
+        analysis.tech,
+        movement_penalty_us=move_1q,
+        two_qubit_movement_penalty_us=move_2q,
+        cqla=cqla,
+    )
+
+
+def _steady_rates(analysis):
+    """A bracketing rate ladder plus the zero-rate starvation edge."""
+    bw = analysis.zero_bandwidth_per_ms
+    return list(np.geomspace(bw / 16.0, bw * 16.0, 7)) + [0.0]
+
+
+class TestSteadyBatches:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_rate_sweep_identical_to_both_engines(self, kernel, request):
+        analysis = request.getfixturevalue(f"{kernel}8")
+        ratio = analysis.pi8_bandwidth_per_ms / analysis.zero_bandwidth_per_ms
+
+        def supplies():
+            return [
+                SteadyRateSupply({ZERO: rate, PI8: rate * ratio})
+                for rate in _steady_rates(analysis)
+            ]
+
+        batched = _batched(analysis, supplies())
+        assert batched == _serial(analysis, supplies())
+        assert batched == _serial(analysis, supplies(), engine="legacy")
+
+    def test_supply_state_advanced_identically(self, qrca8):
+        rate = qrca8.zero_bandwidth_per_ms / 2.0
+        batch_supply = SteadyRateSupply({ZERO: rate, PI8: rate})
+        serial_supply = SteadyRateSupply({ZERO: rate, PI8: rate})
+        _batched(qrca8, [batch_supply])
+        _serial(qrca8, [serial_supply])
+        for kind in (ZERO, PI8):
+            assert batch_supply.consumed_so_far(kind) == (
+                serial_supply.consumed_so_far(kind)
+            )
+
+    def test_zero_rate_starves_every_point(self, qrca8):
+        supplies = [SteadyRateSupply({ZERO: 0.0}) for _ in range(3)]
+        results = _batched(qrca8, supplies)
+        assert all(r.makespan_us == float("inf") for r in results)
+        assert results == _serial(
+            qrca8, [SteadyRateSupply({ZERO: 0.0}) for _ in range(3)]
+        )
+
+    def test_zero_rate_pi8_only(self, qrca8):
+        """Starved pi/8, healthy zeros — the mixed-infinity edge."""
+        rate = qrca8.zero_bandwidth_per_ms
+
+        def supplies():
+            return [SteadyRateSupply({ZERO: rate, PI8: 0.0})]
+
+        assert _batched(qrca8, supplies()) == _serial(qrca8, supplies())
+
+    def test_untracked_kinds_mix_in_one_call(self, qrca8):
+        """Points with different tracked-kind signatures sub-batch safely."""
+        rate = qrca8.zero_bandwidth_per_ms / 2.0
+
+        def supplies():
+            return [
+                SteadyRateSupply({ZERO: rate, PI8: rate}),
+                SteadyRateSupply({ZERO: rate}),  # pi/8 untracked
+                SteadyRateSupply({PI8: rate}),  # zero untracked
+                SteadyRateSupply({}),  # nothing tracked: unconstrained
+                InfiniteSupply(),
+            ]
+
+        assert _batched(qrca8, supplies()) == _serial(qrca8, supplies())
+
+    def test_consumed_supply_resumes_exactly(self, qrca8):
+        """A supply with prior consumption batches from its real state."""
+
+        def supplies():
+            supply = SteadyRateSupply({ZERO: 5.0, PI8: 1.0})
+            supply.acquire(ZERO, 0, 7, 0.0)
+            supply.acquire(PI8, 0, 3, 0.0)
+            return [supply]
+
+        assert _batched(qrca8, supplies()) == _serial(qrca8, supplies())
+
+
+class TestArchitectureBatches:
+    @pytest.mark.parametrize("config", [QlaConfig(), MultiplexedConfig()])
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_area_ladder_identical(self, kernel, config, request):
+        analysis = request.getfixturevalue(f"{kernel}8")
+
+        def supplies():
+            return [
+                config.build_supply(
+                    area,
+                    analysis.circuit.num_qubits,
+                    analysis.zero_bandwidth_per_ms,
+                    analysis.pi8_bandwidth_per_ms,
+                    analysis.tech,
+                )
+                for area in _FACTORY_AREAS
+            ]
+
+        batched = _batched(analysis, supplies(), config)
+        assert batched == _serial(analysis, supplies(), config)
+        assert batched == _serial(analysis, supplies(), config, engine="legacy")
+
+    def test_dedicated_counters_advanced_identically(self, qrca8):
+        nq = qrca8.circuit.num_qubits
+
+        def supply():
+            return DedicatedSupply({ZERO: 0.05, PI8: 0.01}, nq)
+
+        batch_supply, serial_supply = supply(), supply()
+        _batched(qrca8, [batch_supply])
+        _serial(qrca8, [serial_supply])
+        for kind in (ZERO, PI8):
+            assert batch_supply.dedicated_state(kind) == (
+                serial_supply.dedicated_state(kind)
+            )
+
+    def test_dedicated_zero_rate_starves(self, qrca8):
+        nq = qrca8.circuit.num_qubits
+
+        def supplies():
+            return [DedicatedSupply({ZERO: 0.0, PI8: 1.0}, nq)]
+
+        batched = _batched(qrca8, supplies())
+        assert batched[0].makespan_us == float("inf")
+        assert batched == _serial(qrca8, supplies())
+
+    def test_pooled_supply_takes_steady_path(self, qrca8):
+        def supplies():
+            return [PooledSupply({ZERO: 2.0, PI8: 0.5}) for _ in range(3)]
+
+        assert _batched(qrca8, supplies()) == _serial(qrca8, supplies())
+
+
+class TestFallbacks:
+    def test_custom_supply_routes_per_point(self, qrca8, monkeypatch):
+        """Unrecognized supplies bypass the vectorized kernel entirely."""
+        import repro.arch.batched as batched_module
+
+        def boom(*args, **kwargs):
+            raise AssertionError("vectorized kernel must not run")
+
+        monkeypatch.setattr(batched_module, "_run_levels", boom)
+        supplies = [_CeilingSupply(), _CeilingSupply()]
+        results = simulate_batch(qrca8.circuit, supplies, qrca8.tech)
+        assert results == _serial(qrca8, [_CeilingSupply(), _CeilingSupply()])
+
+    def test_cqla_routes_per_point(self, qrca8, monkeypatch):
+        """Cache mode has no point-parallel form: every point falls back."""
+        import repro.arch.batched as batched_module
+
+        def boom(*args, **kwargs):
+            raise AssertionError("vectorized kernel must not run")
+
+        monkeypatch.setattr(batched_module, "_run_levels", boom)
+        config = CqlaConfig()
+
+        def supplies():
+            return [
+                config.build_supply(
+                    area,
+                    qrca8.circuit.num_qubits,
+                    qrca8.zero_bandwidth_per_ms,
+                    qrca8.pi8_bandwidth_per_ms,
+                    qrca8.tech,
+                )
+                for area in _FACTORY_AREAS[:2]
+            ]
+
+        batched = _batched(qrca8, supplies(), config, cqla=config)
+        assert batched == _serial(qrca8, supplies(), config, cqla=config)
+        assert batched[0].cache_misses > 0
+
+    def test_instance_level_acquire_override_falls_back(self, qrca8):
+        def supplies():
+            supply = InfiniteSupply()
+            supply.acquire = lambda kind, qubit, count, earliest: earliest + 77.0
+            return [supply]
+
+        assert _batched(qrca8, supplies()) == _serial(qrca8, supplies())
+
+    def test_mixed_batch_of_every_model(self, qrca8):
+        """One call: infinite + steady + dedicated + custom, order kept."""
+        nq = qrca8.circuit.num_qubits
+
+        def supplies():
+            return [
+                SteadyRateSupply({ZERO: 3.0, PI8: 0.5}),
+                InfiniteSupply(),
+                _CeilingSupply(),
+                DedicatedSupply({ZERO: 0.05, PI8: 0.01}, nq),
+                SteadyRateSupply({ZERO: 30.0, PI8: 5.0}),
+            ]
+
+        assert _batched(qrca8, supplies()) == _serial(qrca8, supplies())
+
+
+class TestEdgeShapes:
+    def test_empty_supply_list(self, qrca8):
+        assert simulate_batch(qrca8.circuit, [], qrca8.tech) == []
+
+    def test_aliased_rate_limited_supply_rejected(self, qrca8):
+        """Serial runs thread one object's consumption point to point; a
+        batch cannot, so sharing an instance must fail loud."""
+        shared = SteadyRateSupply({ZERO: 5.0, PI8: 1.0})
+        with pytest.raises(ValueError, match="same object"):
+            simulate_batch(qrca8.circuit, [shared, shared], qrca8.tech)
+        nq = qrca8.circuit.num_qubits
+        dedicated = DedicatedSupply({ZERO: 0.1}, nq)
+        with pytest.raises(ValueError, match="same object"):
+            simulate_batch(qrca8.circuit, [dedicated, dedicated], qrca8.tech)
+
+    def test_aliased_stateless_supply_allowed(self, qrca8):
+        """InfiniteSupply carries no state: duplicates are harmless."""
+        shared = InfiniteSupply()
+        results = simulate_batch(qrca8.circuit, [shared, shared], qrca8.tech)
+        assert results[0] == results[1]
+
+    def test_empty_circuit(self):
+        circuit = Circuit(2)
+        results = simulate_batch(
+            circuit, [InfiniteSupply(), SteadyRateSupply({ZERO: 1.0})]
+        )
+        assert [r.makespan_us for r in results] == [0.0, 0.0]
+        assert all(r.gates == 0 for r in results)
+
+    def test_conditional_toffoli_circuit(self):
+        """Arity-3 gates, measurements and condition bits, batched."""
+        circuit = (
+            Circuit(4)
+            .ccx(0, 1, 2)
+            .measure_z(2, "m0")
+            .x(3, condition="m0")
+            .t(3)
+            .measure_x(3, "m1")
+            .z(0, condition="m1")
+        )
+        rates = [0.5, 2.0, 0.0]
+
+        def supplies():
+            return [SteadyRateSupply({ZERO: r, PI8: r}) for r in rates]
+
+        batched = simulate_batch(circuit, supplies())
+        serial = [
+            DataflowSimulator(circuit, supply=s).run() for s in supplies()
+        ]
+        legacy = [
+            DataflowSimulator(circuit, supply=s).run_legacy()
+            for s in supplies()
+        ]
+        assert batched == serial == legacy
+
+
+class TestSweepGrids:
+    """The acceptance shape: Figure 8 / Figure 15 grids, batched vs serial."""
+
+    def test_figure8_grid_bit_identical_across_engines(self, qrca8):
+        from repro.arch.sweep import throughput_sweep
+
+        batched = throughput_sweep(qrca8)  # default Figure 8 grid
+        legacy = throughput_sweep(qrca8, engine="legacy")
+        assert batched == legacy
+
+    def test_figure15_grid_bit_identical_across_engines(self, qcla8):
+        from repro.arch.sweep import area_sweep
+
+        batched = area_sweep(qcla8)  # default Figure 15 grid
+        legacy = area_sweep(qcla8, engine="legacy")
+        assert batched == legacy
+
+    def test_evaluator_batch_equals_per_point_evaluation(self, qrca8):
+        """A mixed miss batch resolves to the same evaluations as N
+        single-point calls (the pre-batching code path)."""
+        from repro.explore.evaluator import (
+            Evaluator,
+            KernelSummary,
+            evaluate_design_point,
+        )
+
+        points = (
+            [{"zero_rate": r, "pi8_ratio": 0.3} for r in (1.0, 8.0, 64.0)]
+            + [{"arch": "qla", "factory_area": a} for a in (200.0, 900.0)]
+            + [{"arch": "multiplexed", "factory_area": a} for a in (200.0, 900.0)]
+            + [{"arch": "cqla", "factory_area": 400.0}]
+        )
+        evaluator = Evaluator(analysis=qrca8)
+        batch = evaluator.evaluate(points)
+        summary = KernelSummary.from_analysis(qrca8)
+        singles = [
+            evaluate_design_point(
+                summary, evaluator.canonicalize(p), None, "compiled"
+            )
+            for p in points
+        ]
+        assert batch == singles
+
+
+class TestReadyMatrices:
+    def test_steady_matrix_rows_match_serial_ready_vector(self, qrca8):
+        cc = qrca8.compiled_circuit()
+        rates = np.array([1.5, 0.25, 0.0]) / 1000.0
+        matrix = steady_ready_matrix(
+            cc,
+            rates,
+            np.zeros(3),
+            rates / 2.0,
+            np.zeros(3),
+        )
+        assert matrix.shape == (3, cc.num_gates)
+        for row, rate in zip(matrix, rates):
+            serial = _steady_ready_times(
+                cc,
+                SteadyRateSupply(
+                    {ZERO: rate * 1000.0, PI8: rate * 500.0}
+                ),
+            )
+            assert np.array_equal(row, serial)
+
+    def test_gate_major_is_exact_transpose(self, qrca8):
+        cc = qrca8.compiled_circuit()
+        rates = np.array([1.5, 0.25]) / 1000.0
+        consumed = np.array([4.0, 0.0])
+        points_major = steady_ready_matrix(
+            cc, rates, consumed, rates, consumed
+        )
+        gate_major = steady_ready_matrix(
+            cc, rates, consumed, rates, consumed, gate_major=True
+        )
+        assert np.array_equal(points_major, gate_major.T)
+
+    def test_dedicated_matrix_orientations_agree(self, qrca8):
+        cc = qrca8.compiled_circuit()
+        nq = cc.num_qubits
+        rng = np.random.default_rng(3)
+        rates = rng.uniform(0.001, 0.1, size=(2, nq))
+        rates[1, 0] = 0.0
+        consumed = rng.integers(0, 5, size=(2, nq)).astype(np.float64)
+        points_major = dedicated_ready_matrix(cc, rates, consumed, rates, consumed)
+        gate_major = dedicated_ready_matrix(
+            cc, rates, consumed, rates, consumed, gate_major=True
+        )
+        assert np.array_equal(points_major, gate_major.T)
+
+
+class TestSerialReadyMemo:
+    def test_ready_vector_memoized_per_rates_fingerprint(self, qrca8):
+        cc = qrca8.compiled_circuit()
+        first = _steady_ready_times(cc, SteadyRateSupply({ZERO: 3.0, PI8: 1.0}))
+        again = _steady_ready_times(cc, SteadyRateSupply({ZERO: 3.0, PI8: 1.0}))
+        assert first is again  # same object: served from the memo
+        assert isinstance(first, np.ndarray)
+        assert not first.flags.writeable
+        other = _steady_ready_times(cc, SteadyRateSupply({ZERO: 4.0, PI8: 1.0}))
+        assert other is not first
+
+    def test_consumed_state_lands_on_different_entry(self, qrca8):
+        cc = qrca8.compiled_circuit()
+        supply = SteadyRateSupply({ZERO: 3.0, PI8: 1.0})
+        fresh = _steady_ready_times(cc, supply)
+        supply.advance(ZERO, 10)
+        shifted = _steady_ready_times(cc, supply)
+        assert shifted is not fresh
+        assert shifted[0] > fresh[0]

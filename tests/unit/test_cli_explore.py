@@ -139,3 +139,31 @@ class TestExploreCommand:
         )
         assert code == 0
         assert "latency[area<=1e+09]" in capsys.readouterr().out
+
+    def test_explore_pi8_error_constraint(self, tmp_path, capsys):
+        code = main(
+            [
+                "explore", "qrca-8",
+                "--budget", "3",
+                "--max-pi8-error", "0.9",
+                "--mc-trials", "2000",
+                "--cache-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "adcr[pi8err<=0.9]" in out
+        assert "best:" in out  # a loose quality gate stays feasible
+
+    def test_explore_ancilla_quality_objective(self, tmp_path, capsys):
+        code = main(
+            [
+                "explore", "qrca-8",
+                "--objective", "ancilla_quality",
+                "--budget", "2",
+                "--mc-trials", "2000",
+                "--cache-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert "objective ancilla_quality" in capsys.readouterr().out

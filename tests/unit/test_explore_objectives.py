@@ -7,13 +7,19 @@ import pytest
 from repro.arch.simulator import SimulationResult
 from repro.explore import (
     AdcrObjective,
+    AncillaQualityObjective,
     AreaObjective,
     ConstrainedObjective,
     LatencyObjective,
+    ResultStore,
     get_objective,
     objective_names,
+    pi8_ancilla_quality,
 )
 from repro.explore.evaluator import Evaluation
+
+#: Small but statistically meaningful trial count for unit tests.
+MC_TRIALS = 4000
 
 
 def make_evaluation(makespan_us=2000.0, factory=300.0, data=100.0):
@@ -62,12 +68,72 @@ class TestObjectives:
         assert "area<=100" in obj.name and "latency<=5ms" in obj.name
 
 
+class TestAncillaQuality:
+    def test_score_is_pi8_error_rate(self):
+        obj = AncillaQualityObjective(trials=MC_TRIALS, seed=3)
+        rate = obj.score(make_evaluation())
+        assert 0.0 <= rate < 0.1
+        assert rate == obj.result().error_rate
+
+    def test_score_independent_of_design_point(self):
+        """Area/rate dimensions do not perturb the fault model."""
+        obj = AncillaQualityObjective(trials=MC_TRIALS, seed=3)
+        assert obj.score(make_evaluation(factory=50.0)) == obj.score(
+            make_evaluation(factory=5000.0)
+        )
+
+    def test_in_process_memoization(self):
+        first = pi8_ancilla_quality(trials=MC_TRIALS, seed=5)
+        assert pi8_ancilla_quality(trials=MC_TRIALS, seed=5) is first
+
+    def test_store_round_trip(self, tmp_path):
+        from repro.explore.objectives import _MC_CACHE
+
+        store = ResultStore(tmp_path)
+        cold = pi8_ancilla_quality(trials=MC_TRIALS, seed=9, store=store)
+        _MC_CACHE.clear()
+        warm = pi8_ancilla_quality(trials=MC_TRIALS, seed=9, store=store)
+        assert (warm.trials, warm.good, warm.bad, warm.discarded) == (
+            cold.trials,
+            cold.good,
+            cold.bad,
+            cold.discarded,
+        )
+
+    def test_trials_knob_lands_on_distinct_cache_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        small = pi8_ancilla_quality(trials=MC_TRIALS, seed=5, store=store)
+        large = pi8_ancilla_quality(trials=2 * MC_TRIALS, seed=5, store=store)
+        assert small.trials == MC_TRIALS
+        assert large.trials == 2 * MC_TRIALS
+
+    def test_quality_constraint_gates_feasibility(self):
+        quality = AncillaQualityObjective(trials=MC_TRIALS, seed=3)
+        tight = ConstrainedObjective(
+            AdcrObjective(), max_pi8_error_rate=0.0, quality=quality
+        )
+        loose = ConstrainedObjective(
+            AdcrObjective(), max_pi8_error_rate=1.0, quality=quality
+        )
+        e = make_evaluation()
+        # The pipeline has a nonzero error rate at these trial counts.
+        assert quality.score(e) > 0.0
+        assert tight.score(e) == math.inf
+        assert loose.score(e) == AdcrObjective().score(e)
+        assert "pi8err<=0" in tight.name
+
+
 class TestRegistry:
     def test_names(self):
-        assert objective_names() == ["adcr", "area", "latency"]
+        assert objective_names() == ["adcr", "ancilla_quality", "area", "latency"]
 
     def test_lookup(self):
         assert get_objective("adcr").name == "adcr"
+
+    def test_ancilla_quality_lookup_threads_knobs(self):
+        obj = get_objective("ancilla_quality", mc_trials=MC_TRIALS, mc_seed=3)
+        assert isinstance(obj, AncillaQualityObjective)
+        assert obj.trials == MC_TRIALS
 
     def test_unknown(self):
         with pytest.raises(ValueError, match="unknown objective"):
@@ -77,3 +143,11 @@ class TestRegistry:
         obj = get_objective("area", max_makespan_ms=50.0)
         assert isinstance(obj, ConstrainedObjective)
         assert obj.base.name == "area"
+
+    def test_pi8_constraint_wraps_with_quality(self):
+        obj = get_objective(
+            "adcr", max_pi8_error_rate=0.5, mc_trials=MC_TRIALS, mc_seed=3
+        )
+        assert isinstance(obj, ConstrainedObjective)
+        assert obj.quality is not None
+        assert obj.quality.trials == MC_TRIALS
