@@ -91,7 +91,7 @@ def _cmd_explore(ns: argparse.Namespace) -> int:
         from repro.kernels import analyze_kernel
 
         analysis = analyze_kernel(kernel, width)
-        space = architecture_space(analysis)
+        space = architecture_space(analysis, code_levels=ns.code_level)
         objective = get_objective(
             ns.objective,
             max_total_area=ns.max_area,
@@ -195,6 +195,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_explore.add_argument(
         "--budget", type=int, default=None, metavar="N",
         help="max design points to evaluate (default: the full grid)",
+    )
+    p_explore.add_argument(
+        "--code-level", type=int, nargs="+", default=None, metavar="L",
+        help=(
+            "add the code-concatenation-level axis with these levels "
+            "(e.g. --code-level 1 2; default: level 1 only, the paper's "
+            "single Steane layer). Level-L points re-characterize the "
+            "kernel under tech.at_level(L)"
+        ),
     )
     p_explore.add_argument(
         "--seed", type=int, default=0,

@@ -3,10 +3,21 @@
 The paper works exclusively with the [[7,1,3]] Steane CSS code
 (Section 2.1). This package provides a generic CSS-code record plus the
 Steane instance with its stabilizers, logical operators, encoding circuit
-(Figure 3b), syndrome decoding, and transversal-gate rules.
+(Figure 3b), syndrome decoding, and transversal-gate rules — and, beyond
+the paper, :class:`ConcatenatedCode`: recursive self-concatenation of the
+base code, making concatenation level a first-class design dimension
+(``n**L`` physical qubits, distance ``d**L``, a level-L encoder built
+from level-(L-1) blocks, and recursive hard-decision decoding).
 """
 
 from repro.codes.css import CssCode
+from repro.codes.concatenated import (
+    ConcatenatedCode,
+    css_encoder_layout,
+    css_zero_prep_circuit,
+    propagate_zero_stabilizers,
+    zero_state_group,
+)
 from repro.codes.steane import (
     STEANE,
     steane_code,
@@ -18,10 +29,15 @@ from repro.codes.transversal import (
 )
 
 __all__ = [
+    "ConcatenatedCode",
     "CssCode",
     "STEANE",
     "TransversalRule",
+    "css_encoder_layout",
+    "css_zero_prep_circuit",
+    "propagate_zero_stabilizers",
     "steane_code",
     "steane_zero_prep_circuit",
     "transversal_rule",
+    "zero_state_group",
 ]

@@ -29,8 +29,12 @@ Two construction modes:
   :class:`~repro.kernels.analysis.KernelAnalysis` (what the sweeps use);
 * ``Evaluator(kernel="qcla", width=32)`` — evaluate against a kernel
   *specification*; workers rebuild the (memoized) analysis themselves,
-  and the ``tech_scale`` dimension becomes available because the
-  evaluator can re-characterize the kernel under scaled technology.
+  and the ``tech_scale`` and ``code_level`` dimensions become available
+  because the evaluator can re-characterize the kernel under scaled
+  technology or at a higher code-concatenation level
+  (``tech.at_level(L)``). Misses are grouped per (scale, level), so a
+  ``code_level`` sweep still resolves through the point-batched engine
+  one level at a time.
 """
 
 from __future__ import annotations
@@ -66,6 +70,7 @@ KNOWN_DIMENSIONS = frozenset(
         "zero_rate",
         "pi8_ratio",
         "tech_scale",
+        "code_level",
     }
 )
 
@@ -134,14 +139,14 @@ def tech_fingerprint(tech: TechnologyParams) -> Dict[str, object]:
 def _canonicalize(
     point: Dict[str, object],
     cqla: Optional[CqlaConfig],
-    allow_tech_scale: bool,
+    allow_recharacterize: bool,
 ) -> Dict[str, object]:
     """Resolve defaults and drop irrelevant dimensions.
 
     Equivalent configurations (a QLA point annotated with CQLA cache
-    dims, an explicit default region span, ``tech_scale == 1``) collapse
-    to one canonical dict, which is what the dedupe pass and the result
-    store key on.
+    dims, an explicit default region span, ``tech_scale == 1``,
+    ``code_level == 1``) collapse to one canonical dict, which is what
+    the dedupe pass and the result store key on.
     """
     unknown = set(point) - KNOWN_DIMENSIONS
     if unknown:
@@ -152,7 +157,7 @@ def _canonicalize(
     canonical: Dict[str, object] = {}
     scale = float(point.get("tech_scale", 1.0))
     if scale != 1.0:
-        if not allow_tech_scale:
+        if not allow_recharacterize:
             raise ValueError(
                 "tech_scale requires a kernel specification "
                 "(Evaluator(kernel=..., width=...)); an evaluator built "
@@ -161,6 +166,21 @@ def _canonicalize(
         if scale <= 0:
             raise ValueError(f"tech_scale must be positive, got {scale}")
         canonical["tech_scale"] = scale
+    raw_level = point.get("code_level", 1)
+    if float(raw_level) != int(raw_level):
+        raise ValueError(f"code_level must be an integer, got {raw_level!r}")
+    level = int(raw_level)
+    if level != 1:
+        if level < 1:
+            raise ValueError(f"code_level must be >= 1, got {level}")
+        if not allow_recharacterize:
+            raise ValueError(
+                "code_level requires a kernel specification "
+                "(Evaluator(kernel=..., width=...)); an evaluator built "
+                "from a fixed analysis cannot re-characterize the kernel "
+                "at another concatenation level"
+            )
+        canonical["code_level"] = level
 
     if "zero_rate" in point:
         if "arch" in point or "factory_area" in point:
@@ -381,30 +401,40 @@ def _summary_for_spec(
     tech: TechnologyParams,
     engine: str,
     scale: float,
+    level: int = 1,
 ) -> Tuple[KernelSummary, Optional[CompiledCircuit]]:
     from repro.kernels.analysis import analyze_kernel
 
     scaled = tech if scale == 1.0 else tech.scaled(scale)
-    analysis = analyze_kernel(kernel, width, scaled)
+    analysis = analyze_kernel(kernel, width, scaled, code_level=level)
     compiled = analysis.compiled_circuit() if engine == "compiled" else None
     return KernelSummary.from_analysis(analysis), compiled
+
+
+def _recharacterize_key(point: Dict[str, object]) -> Tuple[float, int]:
+    """(tech_scale, code_level) — the re-characterization group key."""
+    return (
+        float(point.get("tech_scale", 1.0)),
+        int(point.get("code_level", 1)),
+    )
 
 
 def _evaluate_grouped(
     context, points: Sequence[Dict[str, object]], engine: str
 ) -> List[Evaluation]:
-    """Evaluate ``points`` via batched groups, honoring ``tech_scale``.
+    """Evaluate ``points``, batching per (tech_scale, code_level) group.
 
-    Points are grouped by technology scale (each scale has its own
-    summary/compiled context from ``context(point)``), then each scale
-    group resolves through :func:`evaluate_design_points`. Output order
-    matches input order.
+    Points sharing a technology scale and a concatenation level share a
+    summary/compiled context from ``context(point)``; each group then
+    resolves through :func:`evaluate_design_points`, so a sweep over
+    ``code_level`` runs each level's homogeneous points through the
+    point-batched engine. Output order matches input order.
     """
     out: List[Optional[Evaluation]] = [None] * len(points)
-    by_scale: Dict[float, List[int]] = {}
+    by_key: Dict[Tuple[float, int], List[int]] = {}
     for i, point in enumerate(points):
-        by_scale.setdefault(float(point.get("tech_scale", 1.0)), []).append(i)
-    for indices in by_scale.values():
+        by_key.setdefault(_recharacterize_key(point), []).append(i)
+    for indices in by_key.values():
         summary, compiled = context(points[indices[0]])
         evaluations = evaluate_design_points(
             summary, [points[i] for i in indices], compiled, engine
@@ -419,11 +449,13 @@ def _worker_context(point: Dict[str, object]):
     if _WORKER["mode"] == "summary":
         return _WORKER["summary"], _WORKER["compiled"]
     kernel, width, tech = _WORKER["spec"]
-    scale = float(point.get("tech_scale", 1.0))
-    cached = _WORKER["scales"].get(scale)
+    scale, level = _recharacterize_key(point)
+    cached = _WORKER["scales"].get((scale, level))
     if cached is None:
-        cached = _summary_for_spec(kernel, width, tech, _WORKER["engine"], scale)
-        _WORKER["scales"][scale] = cached
+        cached = _summary_for_spec(
+            kernel, width, tech, _WORKER["engine"], scale, level
+        )
+        _WORKER["scales"][(scale, level)] = cached
     return cached
 
 
@@ -442,7 +474,8 @@ class Evaluator:
         analysis: Prebuilt kernel analysis (analysis mode). Mutually
             exclusive with ``kernel``/``width``.
         kernel: Kernel name (spec mode, e.g. ``"qcla"``); enables the
-            ``tech_scale`` dimension and kernel-identity store keys.
+            ``tech_scale`` and ``code_level`` dimensions and
+            kernel-identity store keys.
         width: Kernel bit width (spec mode).
         tech: Technology parameters (spec mode; analysis mode inherits
             the analysis's).
@@ -503,13 +536,17 @@ class Evaluator:
             KernelSummary.from_analysis(analysis) if analysis is not None else None
         )
         self._compiled = compiled
-        self._scales: Dict[float, Tuple[KernelSummary, Optional[CompiledCircuit]]] = {}
+        self._scales: Dict[
+            Tuple[float, int], Tuple[KernelSummary, Optional[CompiledCircuit]]
+        ] = {}
         self._gates: Optional[int] = None
 
     # ------------------------------------------------------------------
 
     def canonicalize(self, point: Dict[str, object]) -> Dict[str, object]:
-        return _canonicalize(point, self._cqla, allow_tech_scale=self._analysis is None)
+        return _canonicalize(
+            point, self._cqla, allow_recharacterize=self._analysis is None
+        )
 
     def canonical_key(self, point: Dict[str, object]) -> str:
         """Stable identity string for dedupe across batches."""
@@ -524,13 +561,13 @@ class Evaluator:
                     self._summary.circuit, self._summary.tech
                 )
             return self._summary, self._compiled
-        scale = float(point.get("tech_scale", 1.0))
-        cached = self._scales.get(scale)
+        scale, level = _recharacterize_key(point)
+        cached = self._scales.get((scale, level))
         if cached is None:
             cached = _summary_for_spec(
-                self._kernel, self._width, self._tech, self._engine, scale
+                self._kernel, self._width, self._tech, self._engine, scale, level
             )
-            self._scales[scale] = cached
+            self._scales[(scale, level)] = cached
         return cached
 
     def _gate_count(self) -> int:

@@ -23,6 +23,7 @@ name                 type        meaning
 ``zero_rate``        continuous  steady encoded-zero supply (per ms)
 ``pi8_ratio``        continuous  pi/8 supply as a fraction of zero rate
 ``tech_scale``       continuous  uniform latency scale on the technology
+``code_level``       integer     code concatenation level (1 = paper)
 ==================== =========== =====================================
 
 Custom dimensions beyond these are rejected at lowering time, keeping the
@@ -236,18 +237,46 @@ class DesignSpace:
 # Standard spaces
 
 
+def _code_level_dimension(code_levels: Optional[Sequence[int]]):
+    """The ``code_level`` axis for a standard space, or None.
+
+    ``None`` (the default everywhere) omits the dimension entirely —
+    every point then canonicalizes to level 1, so existing spaces,
+    sweeps and stored results are bit-identical. An explicit level list
+    becomes an :class:`Integer` axis when the levels are a contiguous
+    range, otherwise a :class:`Categorical` over exactly the given
+    levels.
+    """
+    if code_levels is None:
+        return None
+    levels = sorted({int(level) for level in code_levels})
+    if not levels:
+        raise ValueError("code_levels must be non-empty when given")
+    if levels[0] < 1:
+        raise ValueError(f"code levels must be >= 1, got {levels[0]}")
+    if levels == list(range(levels[0], levels[-1] + 1)):
+        return Integer("code_level", levels[0], levels[-1])
+    return Categorical("code_level", tuple(levels))
+
+
 def architecture_space(
     analysis,
     areas: Optional[Sequence[float]] = None,
     kinds: Sequence[ArchitectureKind] = tuple(ArchitectureKind),
     area_points: int = 14,
+    code_levels: Optional[Sequence[int]] = None,
 ) -> DesignSpace:
     """The Figure 15/16 space: architecture kind x factory-area budget.
 
     The default area ladder is exactly :func:`repro.arch.sweep.area_sweep`'s
     (1/8x to 512x the kernel's matched-demand area, ``area_points`` steps),
     so a grid exploration of this space evaluates the same points as the
-    existing sweep path.
+    existing sweep path. ``code_levels`` appends the concatenation-level
+    axis (e.g. ``(1, 2)`` sweeps each architecture point at both levels);
+    the default — no axis — keeps every point at level 1, bit-identical
+    to the paper's space. Level-L points need a spec-mode evaluator
+    (``Evaluator(kernel=..., width=...)``), which re-characterizes the
+    kernel at ``tech.at_level(L)``.
     """
     from repro.arch.provisioning import area_breakdown
 
@@ -256,20 +285,27 @@ def architecture_space(
 
         matched = area_breakdown(analysis).factory_area
         areas = np.geomspace(matched / 8.0, matched * 512.0, area_points)
-    return DesignSpace(
-        (
-            Categorical("arch", tuple(kind.value for kind in kinds)),
-            Continuous("factory_area", values=tuple(float(a) for a in areas)),
-        )
-    )
+    dimensions = [
+        Categorical("arch", tuple(kind.value for kind in kinds)),
+        Continuous("factory_area", values=tuple(float(a) for a in areas)),
+    ]
+    level_dim = _code_level_dimension(code_levels)
+    if level_dim is not None:
+        dimensions.append(level_dim)
+    return DesignSpace(tuple(dimensions))
 
 
 def throughput_space(
     analysis,
     rates: Optional[Sequence[float]] = None,
     pi8_ratio: Optional[float] = None,
+    code_levels: Optional[Sequence[int]] = None,
 ) -> DesignSpace:
-    """The Figure 8 space: steady zero-supply rate at a fixed pi/8 ratio."""
+    """The Figure 8 space: steady zero-supply rate at a fixed pi/8 ratio.
+
+    ``code_levels`` appends the concatenation-level axis exactly as in
+    :func:`architecture_space` (default: absent, level 1 everywhere).
+    """
     import numpy as np
 
     avg = analysis.zero_bandwidth_per_ms
@@ -277,9 +313,11 @@ def throughput_space(
         rates = np.geomspace(avg / 16.0, avg * 16.0, 17)
     if pi8_ratio is None:
         pi8_ratio = analysis.pi8_bandwidth_per_ms / avg if avg > 0 else 0.0
-    return DesignSpace(
-        (
-            Continuous("zero_rate", values=tuple(float(r) for r in rates)),
-            Continuous("pi8_ratio", values=(float(pi8_ratio),), log=False),
-        )
-    )
+    dimensions = [
+        Continuous("zero_rate", values=tuple(float(r) for r in rates)),
+        Continuous("pi8_ratio", values=(float(pi8_ratio),), log=False),
+    ]
+    level_dim = _code_level_dimension(code_levels)
+    if level_dim is not None:
+        dimensions.append(level_dim)
+    return DesignSpace(tuple(dimensions))

@@ -9,12 +9,20 @@ i.e. a unit with S internal pipeline stages accepts a new batch every
 ``latency / S`` microseconds. Output bandwidth differs from input when the
 unit consumes qubits (verification measures and recycles the cat; B/P
 correction consumes two of three encoded ancillae) or discards failures.
+
+Unit geometry is parameterized on the active code: batch sizes, areas and
+heights are functions of the code's block size ``n`` and its X-check
+count ``w`` (the verification cat width), and the encoder CX stage takes
+one pipeline stage per parallel CX round of the code's derived encoder.
+The default (``code=None``) uses the paper's [[7,1,3]] constants
+verbatim, and passing the Steane code explicitly derives the *same*
+numbers — the code axis introduces no drift at level 1.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
 from repro.layout.schedules import (
     PI8_FACTORY_SCHEDULES,
@@ -26,6 +34,33 @@ from repro.tech import ION_TRAP, TechnologyParams
 #: Fraction of encoded ancillae passing verification (Section 2.3: the
 #: Monte Carlo verification failure rate of the Figure 4a subunit is 0.2%).
 VERIFICATION_SURVIVAL = 0.998
+
+#: The paper's [[7,1,3]] profile: (block size, X-check count, CX rounds).
+_STEANE_PROFILE = (7, 3, 3)
+
+
+def code_profile(code) -> Tuple[int, int, int]:
+    """(block size n, X-check count w, encoder CX rounds) of a code.
+
+    ``None`` means the paper's Steane profile. Any CSS-code-like object
+    (:class:`~repro.codes.css.CssCode` or
+    :class:`~repro.codes.concatenated.ConcatenatedCode`) works: the
+    encoder round count comes from the derived
+    :func:`~repro.codes.concatenated.css_encoder_layout`.
+    """
+    if code is None:
+        return _STEANE_PROFILE
+    n = int(code.n)
+    checks = int(len(code.x_stabilizers))
+    rounds = getattr(code, "encoder_cx_rounds", None)
+    if rounds is None:
+        from repro.codes.concatenated import css_encoder_layout
+
+        rounds = css_encoder_layout(code).num_cx_rounds
+    rounds = int(rounds)
+    if n < 2 or checks < 1 or rounds < 1:
+        raise ValueError(f"degenerate code profile: n={n}, checks={checks}")
+    return n, checks, rounds
 
 
 @dataclass(frozen=True)
@@ -81,64 +116,103 @@ class FunctionalUnit:
         )
 
 
-def zero_factory_units(tech: TechnologyParams = ION_TRAP) -> Dict[str, FunctionalUnit]:
-    """The five Table 5 functional units.
+def zero_factory_units(
+    tech: TechnologyParams = ION_TRAP, code=None
+) -> Dict[str, FunctionalUnit]:
+    """The five Table 5 functional units, for the active code.
 
-    Batch sizes: the CX stage carries seven physical qubits per in-flight
-    batch (one nascent encoded qubit); cat prep carries three; verification
-    holds ten (seven data + three cat) and emits the surviving seven; B/P
-    correction holds three encoded ancillae (21 qubits) and emits one (7).
+    Batch sizes: the CX stage carries ``n`` physical qubits per in-flight
+    batch (one nascent encoded qubit); cat prep carries the ``w``-qubit
+    verification cat; verification holds ``n + w`` (data plus cat) and
+    emits the surviving ``n``; B/P correction holds three encoded
+    ancillae (``3n``) and emits one. For the Steane code this is exactly
+    the paper's 7/3/10/21 with the Table 5 areas.
     """
+    n, w, rounds = code_profile(code)
     s = ZERO_FACTORY_SCHEDULES
+    # Per-qubit prep, the transversal verification check and B/P
+    # correction are code-independent choreography; only the encoder CX
+    # rounds and the cat fan-out scale with the code.
+    prep_schedule = s["zero_prep"]
+    verify_schedule = s["verification"]
+    bp_schedule = s["bp_correction"]
+    if code is None:
+        cx_schedule = s["cx_stage"]
+        cat_schedule = s["cat_prep"]
+    else:
+        cx_schedule = OpSchedule(
+            "cx_stage", two_qubit=rounds, turns=2 * rounds, moves=5
+        )
+        cat_schedule = OpSchedule(
+            "cat_prep", two_qubit=w - 1, turns=2 * (w - 1), moves=2
+        )
     return {
         "zero_prep": FunctionalUnit(
-            "zero_prep", s["zero_prep"], internal_stages=1,
+            "zero_prep", prep_schedule, internal_stages=1,
             qubits_in=1, qubits_out=1, area=1, height=1,
         ),
         "cx_stage": FunctionalUnit(
-            "cx_stage", s["cx_stage"], internal_stages=3,
-            qubits_in=7, qubits_out=7, area=28, height=4,
+            "cx_stage", cx_schedule, internal_stages=rounds,
+            qubits_in=n, qubits_out=n, area=4 * n, height=4,
         ),
         "cat_prep": FunctionalUnit(
-            "cat_prep", s["cat_prep"], internal_stages=2,
-            qubits_in=3, qubits_out=3, area=6, height=2,
+            "cat_prep", cat_schedule, internal_stages=2,
+            qubits_in=w, qubits_out=w, area=2 * w, height=2,
         ),
         "verification": FunctionalUnit(
-            "verification", s["verification"], internal_stages=1,
-            qubits_in=10, qubits_out=7, area=10, height=10,
+            "verification", verify_schedule, internal_stages=1,
+            qubits_in=n + w, qubits_out=n, area=n + w, height=n + w,
             survival=VERIFICATION_SURVIVAL,
         ),
         "bp_correction": FunctionalUnit(
-            "bp_correction", s["bp_correction"], internal_stages=1,
-            qubits_in=21, qubits_out=7, area=21, height=21,
+            "bp_correction", bp_schedule, internal_stages=1,
+            qubits_in=3 * n, qubits_out=n, area=3 * n, height=3 * n,
         ),
     }
 
 
-def pi8_units(tech: TechnologyParams = ION_TRAP) -> Dict[str, FunctionalUnit]:
+def pi8_units(
+    tech: TechnologyParams = ION_TRAP, code=None
+) -> Dict[str, FunctionalUnit]:
     """The four Table 7 stages of the encoded pi/8 factory.
 
     Bandwidths are in physical qubits: the transversal-interact stage
-    handles fourteen qubits per batch (7-qubit cat plus encoded zero);
-    decode emits eight (the encoded block plus the decoded cat head qubit);
-    the final stage emits the seven-qubit pi/8 ancilla.
+    handles ``2n`` qubits per batch (``n``-qubit cat plus encoded zero);
+    decode emits ``n + 1`` (the encoded block plus the decoded cat head
+    qubit); the final stage emits the ``n``-qubit pi/8 ancilla. Steane
+    instantiation reproduces Table 7's 7/14/8 batches and areas exactly.
     """
+    n, _, rounds = code_profile(code)
     s = PI8_FACTORY_SCHEDULES
+    # The transversal CZ/CS/CX interaction and H/measure/correct stages
+    # are code-independent; cat assembly and decode scale with n.
+    interact_schedule = s["transversal_interact"]
+    hmz_schedule = s["h_measure_correct"]
+    if code is None:
+        cat_schedule = s["cat_state_prepare"]
+        decode_schedule = s["decode_store"]
+    else:
+        cat_schedule = OpSchedule(
+            "cat_state_prepare", two_qubit=n, turns=2 * n, moves=8
+        )
+        decode_schedule = OpSchedule(
+            "decode_store", two_qubit=n, turns=2 * n, moves=8
+        )
     return {
         "cat_state_prepare": FunctionalUnit(
-            "cat_state_prepare", s["cat_state_prepare"], internal_stages=1,
-            qubits_in=7, qubits_out=7, area=12, height=6,
+            "cat_state_prepare", cat_schedule, internal_stages=1,
+            qubits_in=n, qubits_out=n, area=2 * n - 2, height=n - 1,
         ),
         "transversal_interact": FunctionalUnit(
-            "transversal_interact", s["transversal_interact"], internal_stages=1,
-            qubits_in=14, qubits_out=14, area=7, height=7,
+            "transversal_interact", interact_schedule, internal_stages=1,
+            qubits_in=2 * n, qubits_out=2 * n, area=n, height=n,
         ),
         "decode_store": FunctionalUnit(
-            "decode_store", s["decode_store"], internal_stages=1,
-            qubits_in=14, qubits_out=8, area=19, height=13,
+            "decode_store", decode_schedule, internal_stages=1,
+            qubits_in=2 * n, qubits_out=n + 1, area=2 * n + 5, height=2 * n - 1,
         ),
         "h_measure_correct": FunctionalUnit(
-            "h_measure_correct", s["h_measure_correct"], internal_stages=1,
-            qubits_in=8, qubits_out=7, area=8, height=8,
+            "h_measure_correct", hmz_schedule, internal_stages=1,
+            qubits_in=n + 1, qubits_out=n, area=n + 1, height=n + 1,
         ),
     }

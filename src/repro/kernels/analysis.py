@@ -336,7 +336,11 @@ def _analyze_cached(
 
 
 def analyze_kernel(
-    kernel: str, width: int = 32, tech: TechnologyParams = ION_TRAP
+    kernel: str,
+    width: int = 32,
+    tech: TechnologyParams = ION_TRAP,
+    *,
+    code_level: int = 1,
 ) -> KernelAnalysis:
     """Characterize one benchmark kernel.
 
@@ -350,12 +354,24 @@ def analyze_kernel(
         kernel: One of "qrca", "qcla", "qft".
         width: Bit width (32 reproduces the paper).
         tech: Technology parameters.
+        code_level: Concatenation level of the error-correcting code.
+            Level 1 (the default) is the paper's single Steane layer and
+            changes nothing; level L re-characterizes the kernel under
+            ``tech.at_level(L)`` — effective logical latencies with
+            level-(L-1) blocks as the physical layer — so every
+            downstream consumer (factories, sweeps, both dataflow
+            engines) prices the leveled code transparently.
+            ``analyze_kernel(k, w, tech, code_level=L)`` and
+            ``analyze_kernel(k, w, tech.at_level(L))`` share one
+            memoized characterization.
     """
     name = kernel.lower()
     if name not in _BUILDERS:
         raise ValueError(
             f"unknown kernel {kernel!r}; choose from {sorted(_BUILDERS)}"
         )
+    if code_level != 1:
+        tech = tech.at_level(code_level)
     return _analyze_cached(name, width, tech)
 
 

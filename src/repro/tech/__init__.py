@@ -4,6 +4,11 @@ The paper grounds its symbolic analysis in trapped-ion technology using the
 operation latencies of its Tables 1 and 4 and the error rates of Section 2.2.
 This package holds those parameter records and makes them pluggable so the
 rest of the library can be evaluated under different technology assumptions.
+
+:mod:`repro.tech.levels` adds the concatenation-level axis:
+``tech.at_level(L)`` (or :func:`at_level`) re-characterizes a technology
+so level-(L-1) logical operations become the physical layer — the knob
+that turns ``tech_scale``-style what-ifs into a real code-level study.
 """
 
 from repro.tech.params import (
@@ -13,11 +18,17 @@ from repro.tech.params import (
     TechnologyParams,
     ion_trap_params,
 )
+from repro.tech.levels import (
+    at_level,
+    level_one_logical_error_rate,
+)
 
 __all__ = [
     "ERROR_MODEL_PAPER",
     "ION_TRAP",
     "ErrorRates",
     "TechnologyParams",
+    "at_level",
     "ion_trap_params",
+    "level_one_logical_error_rate",
 ]

@@ -70,6 +70,19 @@ class TechnologyParams:
         """Return a copy of these parameters with different error rates."""
         return replace(self, errors=errors)
 
+    def at_level(self, level: int, **kwargs) -> "TechnologyParams":
+        """Effective parameters at concatenation level ``level``.
+
+        Level 1 is the identity (returns ``self``); higher levels price
+        level-(L-1) logical operations as the physical layer and derive
+        error rates from the concatenation scaling law, calibrated by
+        the level-1 Monte-Carlo driver. See :func:`repro.tech.levels.at_level`
+        (which this delegates to) for the model and the memoization.
+        """
+        from repro.tech.levels import at_level
+
+        return at_level(self, level, **kwargs)
+
     def scaled(self, factor: float, name: str | None = None) -> "TechnologyParams":
         """Return a copy with every latency multiplied by ``factor``.
 

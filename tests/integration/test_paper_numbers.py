@@ -11,6 +11,45 @@ import pytest
 from repro.arch.provisioning import area_breakdown
 from repro.factory import Pi8Factory, PipelinedZeroFactory, SimpleZeroFactory
 
+#: Exact level-1 golden values (full float precision, pinned so the
+#: code-level axis provably changes nothing at level 1 — see
+#: TestGoldenLevelOne below). Regenerate only for an *intentional* model
+#: change, never to absorb drift.
+GOLDEN_TABLE2_US = {
+    "32-Bit QRCA": (27092.0, 120292.0, 514965.0, 986.0),
+    "32-Bit QCLA": (3468.0, 15006.0, 65627.0, 123.0),
+    "32-Bit QFT": (96212.0, 375028.0, 1856544.0, 3074.0),
+}
+GOLDEN_EXECUTION_US = {
+    "32-Bit QRCA": 147384.0,
+    "32-Bit QCLA": 18474.0,
+    "32-Bit QFT": 471240.0,
+}
+GOLDEN_TABLE3_PER_MS = {
+    "32-Bit QRCA": (27.384247950930906, 5.9843673668783595),
+    "32-Bit QCLA": (239.36342968496265, 53.42643715492043),
+    "32-Bit QFT": (32.05160852219676, 7.206518971224853),
+}
+#: Figure 8 on the 8-bit QRCA: (rate, makespan) of the first sampled
+#: point and of the optimum (= the plateau at the largest rate).
+GOLDEN_FIG8_FIRST = (1.6669433377600709, 578883.0)
+GOLDEN_FIG8_BEST = (426.73749446657814, 36148.686721991704)
+#: Figure 15 on the 8-bit QCLA: ADCR-free optima per architecture —
+#: (best area, best makespan) with the best = plateau for every curve.
+GOLDEN_FIG15_BEST = {
+    "qla": (1424371.1848470117, 19639.606534090908),
+    "cqla": (4495.299168212823, 33093.0),
+    "multiplexed": (1424371.1848470117, 12983.872159090908),
+}
+#: Figure 16 on the 8-bit QCLA: the Qalypso-vs-CQLA matchup.
+GOLDEN_FIG16 = {
+    "factory_area": 3085.0,
+    "qalypso_makespan_us": 15865.660708391883,
+    "cqla_makespan_us": 33093.0,
+    "cqla_cache_misses": 127,
+    "cqla_teleports": 251,
+}
+
 
 class TestFactoryNumbers:
     """Tables 5-8 and Figure 11 are exact reproductions."""
@@ -105,6 +144,106 @@ class TestGateCensus:
         expected = {"32-Bit QRCA": 97, "32-Bit QCLA": 123, "32-Bit QFT": 32}
         for ka in all_kernels32:
             assert ka.data_qubits == expected[ka.name]
+
+
+class TestGoldenLevelOne:
+    """Exact-value regression pins for every level-1 headline artifact.
+
+    The concatenation-level axis re-characterizes latencies *above*
+    level 1 only; these fixtures prove the refactor (code-parameterized
+    factories, level-aware evaluator, ``code_level`` spaces) changed
+    nothing at level 1 — every comparison is ``==`` on full-precision
+    floats, not approx.
+    """
+
+    @pytest.mark.parametrize("fixture", ["qrca32", "qcla32", "qft32"])
+    def test_table2_components_exact(self, fixture, request):
+        ka = request.getfixturevalue(fixture)
+        row = ka.table2_row()
+        data_op, qec, prep, chain = GOLDEN_TABLE2_US[ka.name]
+        assert row["data_op_us"] == data_op
+        assert row["qec_interact_us"] == qec
+        assert row["ancilla_prep_us"] == prep
+        assert row["critical_path_gates"] == chain
+
+    @pytest.mark.parametrize("fixture", ["qrca32", "qcla32", "qft32"])
+    def test_execution_time_exact(self, fixture, request):
+        ka = request.getfixturevalue(fixture)
+        assert ka.execution_time_us == GOLDEN_EXECUTION_US[ka.name]
+
+    @pytest.mark.parametrize("fixture", ["qrca32", "qcla32", "qft32"])
+    def test_table3_bandwidths_exact(self, fixture, request):
+        ka = request.getfixturevalue(fixture)
+        zero, pi8 = GOLDEN_TABLE3_PER_MS[ka.name]
+        assert ka.zero_bandwidth_per_ms == zero
+        assert ka.pi8_bandwidth_per_ms == pi8
+
+    def test_fig8_sweep_optimum_exact(self, qrca8):
+        from repro.arch.sweep import throughput_sweep
+
+        points = throughput_sweep(qrca8)
+        assert len(points) == 17
+        assert (points[0].x, points[0].makespan_us) == GOLDEN_FIG8_FIRST
+        best = min(points, key=lambda p: p.makespan_us)
+        assert (best.x, best.makespan_us) == GOLDEN_FIG8_BEST
+        # The optimum is the plateau: supply beyond demand buys nothing.
+        assert best.makespan_us == points[-1].makespan_us
+
+    def test_fig15_sweep_optima_exact(self, qcla8):
+        from repro.arch.sweep import area_sweep
+
+        curves = area_sweep(qcla8)
+        for kind, points in curves.items():
+            best = min(points, key=lambda p: p.makespan_us)
+            assert (best.x, best.makespan_us) == GOLDEN_FIG15_BEST[kind.value]
+
+    def test_fig16_qalypso_comparison_exact(self, qcla8):
+        from repro.arch.qalypso import compare_with_cqla
+
+        comparison = compare_with_cqla(qcla8)
+        assert comparison.factory_area == GOLDEN_FIG16["factory_area"]
+        assert (
+            comparison.qalypso.makespan_us == GOLDEN_FIG16["qalypso_makespan_us"]
+        )
+        assert comparison.cqla.makespan_us == GOLDEN_FIG16["cqla_makespan_us"]
+        assert comparison.cqla.cache_misses == GOLDEN_FIG16["cqla_cache_misses"]
+        assert comparison.cqla.teleports == GOLDEN_FIG16["cqla_teleports"]
+
+    def test_concatenated_level_one_factories_identical(self):
+        """ConcatenatedCode(steane, 1) reproduces the factory numbers."""
+        from repro.codes import ConcatenatedCode, steane_code
+
+        code = ConcatenatedCode(steane_code(), 1)
+        default_simple = SimpleZeroFactory()
+        coded_simple = SimpleZeroFactory(code=code)
+        assert coded_simple.latency_us == default_simple.latency_us == 323.0
+        assert coded_simple.area == default_simple.area == 90
+        default_zero, coded_zero = PipelinedZeroFactory(), PipelinedZeroFactory(
+            code=code
+        )
+        assert coded_zero.area == default_zero.area == 298
+        assert coded_zero.unit_counts == default_zero.unit_counts
+        assert coded_zero.throughput_per_ms == default_zero.throughput_per_ms
+        default_pi8, coded_pi8 = Pi8Factory(), Pi8Factory(code=code)
+        assert coded_pi8.area == default_pi8.area == 403
+        assert coded_pi8.throughput_per_ms == default_pi8.throughput_per_ms
+        assert coded_pi8.serial_latency_us() == default_pi8.serial_latency_us()
+
+    def test_code_level_one_evaluations_identical(self, qrca8):
+        """A level-1-annotated point is the *same* canonical point."""
+        from repro.explore.evaluator import Evaluator
+
+        spec = Evaluator(kernel="qrca", width=8)
+        plain = spec.evaluate([{"arch": "qla", "factory_area": 500.0}])[0]
+        leveled = spec.evaluate(
+            [{"arch": "qla", "factory_area": 500.0, "code_level": 1}]
+        )[0]
+        assert plain.point == leveled.point
+        assert plain.result == leveled.result
+        assert spec.dedup_hits >= 0  # the two collapse through canonical keys
+        from repro.tech import ION_TRAP
+
+        assert ION_TRAP.at_level(1) is ION_TRAP
 
 
 class TestTable9:

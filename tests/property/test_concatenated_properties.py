@@ -1,0 +1,184 @@
+"""Property-based tests: recursive Steane concatenation invariants.
+
+Hypothesis drives three families of invariants at concatenation levels
+1-3 (the satellite spec of the code-axis PR):
+
+* [[n, k, d]] arithmetic — ``n = 7**L``, ``k = 1``, ``d = 3**L`` — plus
+  the CSS commutation relations of the recursively built stabilizer
+  generators;
+* encoder round-trip — propagating the ``|0...0>`` stabilizer group
+  through the level-L encoder lands exactly on the span of the code's
+  stabilizers plus logical Z, and stays there under random stabilizer
+  multiplication;
+* decoding — any error of weight at most ``2**L - 1`` is corrected by
+  the recursive hard-decision decoder, and stabilizer elements are
+  harmless.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codes import (
+    ConcatenatedCode,
+    propagate_zero_stabilizers,
+    steane_code,
+    zero_state_group,
+)
+from repro.codes.concatenated import gf2_rank_fast, gf2_spans_equal
+from repro.codes.css import gf2_rank
+
+STEANE = steane_code()
+
+#: One shared instance per level — stabilizer construction is lazy and
+#: the codes are immutable.
+CODES = {level: ConcatenatedCode(STEANE, level) for level in (1, 2, 3)}
+
+levels = st.sampled_from((1, 2, 3))
+small_levels = st.sampled_from((1, 2))
+
+
+def _random_pattern(draw, n, max_weight):
+    weight = draw(st.integers(0, max_weight))
+    positions = draw(
+        st.lists(
+            st.integers(0, n - 1), min_size=weight, max_size=weight, unique=True
+        )
+    )
+    pattern = np.zeros(n, dtype=np.uint8)
+    pattern[positions] = 1
+    return pattern
+
+
+class TestParameters:
+    @given(levels)
+    def test_nkd_arithmetic(self, level):
+        code = CODES[level]
+        assert code.parameters == (7**level, 1, 3**level)
+        assert code.n == code.base.n**level
+        assert code.d == code.base.d**level
+
+    @given(levels)
+    def test_stabilizer_counts_and_shapes(self, level):
+        code = CODES[level]
+        # A k=1 stabilizer code has n-1 generators, split evenly X/Z for
+        # the self-dual Steane recursion.
+        assert code.x_stabilizers.shape == ((code.n - 1) // 2, code.n)
+        assert code.z_stabilizers.shape == ((code.n - 1) // 2, code.n)
+        assert gf2_rank_fast(code.x_stabilizers) == (code.n - 1) // 2
+
+    @given(levels)
+    def test_css_commutation_relations(self, level):
+        code = CODES[level]
+        assert not ((code.x_stabilizers @ code.z_stabilizers.T) % 2).any()
+        assert not ((code.x_stabilizers @ code.logical_z) % 2).any()
+        assert not ((code.z_stabilizers @ code.logical_x) % 2).any()
+        assert (code.logical_x @ code.logical_z) % 2 == 1
+
+    def test_level_one_is_the_base_code(self):
+        code = CODES[1]
+        assert code.x_stabilizers is STEANE.x_stabilizers
+        assert code.z_stabilizers is STEANE.z_stabilizers
+        assert np.array_equal(code.logical_x, STEANE.logical_x)
+        assert code.name == STEANE.name
+
+    def test_invalid_levels_rejected(self):
+        with pytest.raises(ValueError):
+            ConcatenatedCode(STEANE, 0)
+        with pytest.raises(TypeError):
+            ConcatenatedCode(STEANE, 2.0)
+
+    def test_rank_helper_agrees_with_reference(self):
+        for level in (1, 2):
+            m = CODES[level].x_stabilizers
+            assert gf2_rank_fast(m) == gf2_rank(m)
+
+
+class TestEncoderRoundTrip:
+    @pytest.mark.parametrize("level", (1, 2, 3))
+    def test_encoder_prepares_the_encoded_zero(self, level):
+        """|0...0> stabilizers conjugate onto stabilizers + logical Z."""
+        code = CODES[level]
+        circuit = code.zero_prep_circuit()
+        flow = propagate_zero_stabilizers(circuit)
+        assert gf2_spans_equal(flow, zero_state_group(code))
+
+    @given(small_levels, st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_stable_under_stabilizer_multiplication(
+        self, level, data
+    ):
+        """Multiplying propagated generators by group elements keeps the
+        span — the round-trip is a *group* property, not generator luck."""
+        code = CODES[level]
+        flow = propagate_zero_stabilizers(code.zero_prep_circuit())
+        target = zero_state_group(code)
+        picks = data.draw(
+            st.lists(
+                st.integers(0, len(flow) - 1), min_size=1, max_size=4, unique=True
+            )
+        )
+        mixed = flow.copy()
+        combo = np.bitwise_xor.reduce(flow[picks], axis=0)
+        mixed[picks[0]] = combo
+        assert gf2_spans_equal(mixed, target)
+
+    @given(small_levels)
+    @settings(max_examples=6, deadline=None)
+    def test_encoder_gate_census(self, level):
+        """Recursive structure: E(L) = 7 E(L-1) + 12 * 7**(L-1), i.e.
+        12 * L * 7**(L-1) gates — each of the L layers applies the
+        12-gate base encoder transversally over 7**(L-1)-qubit blocks."""
+        code = CODES[level]
+        circuit = code.zero_prep_circuit(include_prep=False)
+        assert len(circuit) == 12 * level * 7 ** (level - 1)
+        assert circuit.num_qubits == code.n
+
+
+class TestRecursiveDecoding:
+    @given(small_levels, st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_weight_below_recursive_radius_corrected(self, level, data):
+        """Hard-decision blockwise decoding corrects weight <= 2**L - 1."""
+        code = CODES[level]
+        pattern = _random_pattern(data.draw, code.n, 2**level - 1)
+        assert not code.is_logical_x(pattern)
+        assert not code.is_logical_z(pattern)
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.data())
+    def test_level3_weight_seven_corrected(self, data):
+        code = CODES[3]
+        pattern = _random_pattern(data.draw, code.n, 7)
+        assert not code.is_logical_x(pattern)
+
+    @given(small_levels, st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_stabilizer_elements_are_harmless(self, level, data):
+        """Any product of X stabilizers decodes as no logical error."""
+        code = CODES[level]
+        rows = code.x_stabilizers
+        picks = data.draw(
+            st.lists(
+                st.integers(0, len(rows) - 1), min_size=1, max_size=5, unique=True
+            )
+        )
+        element = np.bitwise_xor.reduce(rows[picks], axis=0)
+        assert not code.is_logical_x(element)
+
+    @given(small_levels)
+    @settings(max_examples=6, deadline=None)
+    def test_logical_operator_detected(self, level):
+        """The logical X itself must grade as a logical error."""
+        code = CODES[level]
+        assert code.is_logical_x(code.logical_x)
+        assert code.is_logical_z(code.logical_z)
+        assert code.is_uncorrectable(code.logical_x, np.zeros(code.n, np.uint8))
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_level1_grading_matches_base_code(self, data):
+        """Level 1 delegates to the base decoder bit for bit."""
+        pattern = _random_pattern(data.draw, 7, 7)
+        assert CODES[1].is_logical_x(pattern) == STEANE.is_logical_x(pattern)
+        assert CODES[1].is_logical_z(pattern) == STEANE.is_logical_z(pattern)

@@ -155,6 +155,51 @@ class TestExploreCommand:
         assert "adcr[pi8err<=0.9]" in out
         assert "best:" in out  # a loose quality gate stays feasible
 
+    def test_explore_code_level_grid(self, tmp_path, capsys):
+        """--code-level 1 2 sweeps the concatenation axis through the
+        spec-mode evaluator (level-2 points re-characterize the kernel)."""
+        code = main(
+            [
+                "explore", "qrca-8",
+                "--code-level", "1", "2",
+                "--strategy", "grid",
+                "--budget", "6",
+                "--cache-dir", str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "best:" in out
+        # The grid interleaves both levels: 3 areas x 2 levels.
+        assert "6 new simulations" in out
+        # Level-1 points canonicalize identically to unannotated points,
+        # so a plain (no --code-level) run is served from the store...
+        assert main(
+            [
+                "explore", "qrca-8",
+                "--strategy", "grid",
+                "--budget", "3",
+                "--cache-dir", str(tmp_path),
+            ]
+        ) == 0
+        assert "0 new simulations" in capsys.readouterr().out
+        # ...while the level-2 half of the grid was genuinely distinct
+        # (6 unique evaluations landed in the store, not 3).
+        from repro.explore import ResultStore
+
+        assert ResultStore(str(tmp_path)).clear() == 6
+
+    def test_explore_code_level_invalid(self, tmp_path, capsys):
+        code = main(
+            [
+                "explore", "qrca-8",
+                "--code-level", "0",
+                "--cache-dir", str(tmp_path),
+            ]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
     def test_explore_ancilla_quality_objective(self, tmp_path, capsys):
         code = main(
             [

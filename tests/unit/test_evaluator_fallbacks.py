@@ -1,0 +1,190 @@
+"""Evaluator fallback paths: CQLA / custom supplies and alias rejection.
+
+The batched sweep suite exercises the happy point-batched path (and
+hypothesis drives it over random rate vectors); these tests pin the
+*fallback* behavior of :mod:`repro.explore.evaluator`:
+
+* CQLA points resolve per-point (cache-port booking has no closed
+  point-parallel form) while their batch-mates still batch;
+* a lowered point whose supply overrides ``acquire`` routes through the
+  per-point serial engine transparently, with identical results;
+* the legacy engine and singleton batches never touch the batched
+  engine at all;
+* the aliased rate-limited supply guard fires if a lowering ever hands
+  the same supply object to two points — and the real lowering never
+  does, even for duplicate design points.
+"""
+
+import pytest
+
+import repro.arch.batched as batched_module
+from repro.arch.supply import PI8, ZERO, PooledSupply
+from repro.explore.evaluator import (
+    Evaluator,
+    KernelSummary,
+    _lower_point,
+    evaluate_design_point,
+    evaluate_design_points,
+)
+
+POINTS = [
+    {"arch": "qla", "factory_area": 400.0},
+    {"arch": "qla", "factory_area": 800.0},
+    {"arch": "cqla", "factory_area": 400.0, "cqla_cache_fraction": 0.125,
+     "cqla_ports": 2},
+    {"arch": "cqla", "factory_area": 800.0, "cqla_cache_fraction": 0.125,
+     "cqla_ports": 2},
+    {"arch": "multiplexed", "factory_area": 400.0, "region_span": 8},
+]
+
+
+@pytest.fixture()
+def spy_batch(monkeypatch):
+    """Record every simulate_batch call's supply count; keep behavior."""
+    calls = []
+    real = batched_module.simulate_batch
+
+    def wrapper(circuit, supplies, *args, **kwargs):
+        calls.append(list(supplies))
+        return real(circuit, supplies, *args, **kwargs)
+
+    monkeypatch.setattr(batched_module, "simulate_batch", wrapper)
+    return calls
+
+
+class TestCqlaFallback:
+    def test_cqla_points_resolve_per_point_others_batch(self, qrca8, spy_batch):
+        summary = KernelSummary.from_analysis(qrca8)
+        canonical = [dict(p) for p in POINTS]
+        batch = evaluate_design_points(summary, canonical, None, "compiled")
+        serial = [
+            evaluate_design_point(summary, dict(p), None, "compiled")
+            for p in POINTS
+        ]
+        assert [e.result for e in batch] == [e.result for e in serial]
+        assert [e.point for e in batch] == [e.point for e in serial]
+        # The two CQLA points never entered the batched engine; the two
+        # QLA points batched together, the multiplexed point alone.
+        batched_supplies = sum(len(call) for call in spy_batch)
+        assert batched_supplies == len(POINTS) - 2
+        assert sorted(len(call) for call in spy_batch) == [1, 2]
+
+    def test_cqla_results_match_legacy_engine(self, qrca8):
+        compiled = Evaluator(analysis=qrca8).evaluate([POINTS[2]])[0]
+        legacy = Evaluator(analysis=qrca8, engine="legacy").evaluate(
+            [POINTS[2]]
+        )[0]
+        assert compiled.result == legacy.result
+
+
+class TestCustomSupplyFallback:
+    def test_overridden_acquire_routes_per_point(self, qrca8, monkeypatch):
+        """A lowering that yields a custom supply still evaluates right."""
+
+        class EagerPool(PooledSupply):
+            """Subclass overriding acquire: disqualified from batching."""
+
+            def acquire(self, kind, qubit, count, earliest):
+                return PooledSupply.acquire(self, kind, qubit, count, earliest)
+
+        import repro.explore.evaluator as evaluator_module
+
+        real_lower = evaluator_module._lower_point
+
+        def lowering(summary, point):
+            lowered = real_lower(summary, point)
+            if point.get("arch") == "multiplexed":
+                rates = {
+                    ZERO: (lowered.supply.rate_per_us(ZERO) or 0.0) * 1000.0,
+                    PI8: (lowered.supply.rate_per_us(PI8) or 0.0) * 1000.0,
+                }
+                return evaluator_module._LoweredPoint(
+                    supply=EagerPool(rates),
+                    move_1q=lowered.move_1q,
+                    move_2q=lowered.move_2q,
+                    cqla=lowered.cqla,
+                    factory_area=lowered.factory_area,
+                )
+            return lowered
+
+        summary = KernelSummary.from_analysis(qrca8)
+        points = [
+            {"arch": "multiplexed", "factory_area": 500.0, "region_span": 8},
+            {"arch": "multiplexed", "factory_area": 900.0, "region_span": 8},
+        ]
+        monkeypatch.setattr(evaluator_module, "_lower_point", lowering)
+        custom = evaluate_design_points(
+            summary, [dict(p) for p in points], None, "compiled"
+        )
+        monkeypatch.setattr(evaluator_module, "_lower_point", real_lower)
+        plain = evaluate_design_points(
+            summary, [dict(p) for p in points], None, "compiled"
+        )
+        # The subclass changes dispatch (per-point fallback inside
+        # simulate_batch), not arithmetic: results are identical.
+        assert [e.result for e in custom] == [e.result for e in plain]
+
+    def test_legacy_engine_never_calls_batched(self, qrca8, monkeypatch):
+        def boom(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("legacy engine must not batch")
+
+        monkeypatch.setattr(batched_module, "simulate_batch", boom)
+        evaluator = Evaluator(analysis=qrca8, engine="legacy")
+        results = evaluator.evaluate([dict(p) for p in POINTS[:2]])
+        assert len(results) == 2
+
+    def test_single_point_short_circuits_batching(self, qrca8, monkeypatch):
+        def boom(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("singleton batches take the serial path")
+
+        monkeypatch.setattr(batched_module, "simulate_batch", boom)
+        summary = KernelSummary.from_analysis(qrca8)
+        result = evaluate_design_points(
+            summary, [dict(POINTS[0])], None, "compiled"
+        )
+        assert len(result) == 1
+
+
+class TestAliasedSupplyRejection:
+    def test_aliased_lowering_rejected(self, qrca8, monkeypatch):
+        """If a lowering aliased one rate-limited supply across points,
+        the batched engine's guard fails loud instead of diverging."""
+        import repro.explore.evaluator as evaluator_module
+
+        summary = KernelSummary.from_analysis(qrca8)
+        shared = _lower_point(
+            summary, {"arch": "multiplexed", "factory_area": 500.0,
+                      "region_span": 8}
+        )
+        monkeypatch.setattr(
+            evaluator_module, "_lower_point", lambda s, p: shared
+        )
+        with pytest.raises(ValueError, match="same object"):
+            evaluate_design_points(
+                summary,
+                [
+                    {"arch": "multiplexed", "factory_area": 500.0,
+                     "region_span": 8},
+                    {"arch": "multiplexed", "factory_area": 900.0,
+                     "region_span": 8},
+                ],
+                None,
+                "compiled",
+            )
+
+    def test_real_lowering_never_aliases(self, qrca8):
+        """Duplicate design points dedupe to one canonical evaluation
+        upstream, and fresh lowerings build fresh supplies — the alias
+        guard stays quiet on every legitimate evaluator path."""
+        evaluator = Evaluator(analysis=qrca8)
+        duplicated = [dict(POINTS[0]), dict(POINTS[0]), dict(POINTS[1])]
+        results = evaluator.evaluate(duplicated)
+        assert evaluator.dedup_hits == 1
+        assert results[0].result == results[1].result
+
+    def test_aliased_supply_rejected_at_engine_level(self, qrca8):
+        supply = PooledSupply({ZERO: 10.0, PI8: 1.0})
+        with pytest.raises(ValueError, match="same object"):
+            batched_module.simulate_batch(
+                qrca8.circuit, [supply, supply], qrca8.tech
+            )
