@@ -111,17 +111,63 @@ def _cmd_explore(ns: argparse.Namespace) -> int:
         engine=ns.engine,
         workers=ns.workers,
         store=store,
+        retries=ns.retries,
+        timeout=ns.timeout,
     )
     budget = ns.budget if ns.budget is not None else space.grid_size()
+    journal = store.journal_path() if store is not None else None
+    if ns.resume and journal is None:
+        print("error: --resume needs the result store (drop --no-cache)",
+              file=sys.stderr)
+        return 2
     try:
         result = explore(
-            space, objective, strategy, evaluator=evaluator, budget=budget
+            space, objective, strategy, evaluator=evaluator, budget=budget,
+            journal=journal, resume=ns.resume,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(format_exploration(result))
+    stats = evaluator.stats()
+    print(
+        "evaluator: "
+        + ", ".join(f"{name}={value}" for name, value in stats.items())
+    )
     return 0
+
+
+def _cmd_cache(ns: argparse.Namespace) -> int:
+    from repro.explore import ResultStore
+
+    store = ResultStore(ns.cache_dir)
+    if ns.action == "clear":
+        removed = store.clear()
+        print(f"cleared {removed} cached evaluations from the result store")
+        return 0
+    if ns.action == "stats":
+        print(f"store root: {store.root}")
+        print(f"valid records: {len(store)}")
+        journal = store.journal_path()
+        if journal.exists():
+            print(f"journal: {journal} ({journal.stat().st_size} bytes)")
+        else:
+            print("journal: none")
+        return 0
+    # fsck
+    report = store.fsck(remove=ns.remove)
+    print(f"ok: {report.ok}")
+    print(f"corrupt: {len(report.corrupt)}"
+          + (f" ({', '.join(report.corrupt[:5])})" if report.corrupt else ""))
+    print(f"stale schema: {len(report.stale_schema)}")
+    print(f"foreign (digest mismatch): {len(report.foreign)}"
+          + (f" ({', '.join(report.foreign[:5])})" if report.foreign else ""))
+    print(f"stale leases: {len(report.stale_leases)}")
+    if ns.remove:
+        print(f"removed: {report.removed}")
+    elif report.bad or report.stale_leases:
+        print("run `repro cache fsck --remove` to delete the entries above")
+    return 1 if report.bad and not ns.remove else 0
 
 
 # ----------------------------------------------------------------------
@@ -232,6 +278,29 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_explore.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help=(
+            "retry a failing design point N times (with backoff) before "
+            "quarantining it as a structured failure (default: 2)"
+        ),
+    )
+    p_explore.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help=(
+            "per-chunk evaluation timeout in seconds for worker pools; "
+            "hung workers are killed and their chunks retried "
+            "(default: no timeout)"
+        ),
+    )
+    p_explore.add_argument(
+        "--resume", action="store_true",
+        help=(
+            "resume an interrupted exploration from the round journal "
+            "(journal.jsonl beside the result store): completed rounds "
+            "replay from the warm store with zero new simulations"
+        ),
+    )
+    p_explore.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="result-store root (default: .repro_cache, or $REPRO_CACHE_DIR)",
     )
@@ -245,6 +314,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_sweep_options(p_explore)
     p_explore.set_defaults(func=_cmd_explore, engine="compiled")
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect or repair the result store",
+        description=(
+            "Maintenance for the content-addressed result store: fsck "
+            "reports (and with --remove deletes) corrupt, stale-schema "
+            "and foreign entries plus stale evaluator leases; stats "
+            "summarizes the store; clear wipes it."
+        ),
+    )
+    p_cache.add_argument(
+        "action", choices=("fsck", "stats", "clear"),
+        help="what to do to the store",
+    )
+    p_cache.add_argument(
+        "--remove", action="store_true",
+        help="fsck only: delete the unhealthy entries it finds",
+    )
+    p_cache.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-store root (default: .repro_cache, or $REPRO_CACHE_DIR)",
+    )
+    p_cache.set_defaults(func=_cmd_cache)
     return parser
 
 

@@ -37,9 +37,17 @@ Quickstart::
 
 from repro.explore.engine import (
     ExplorationResult,
+    Journal,
     explore,
     format_exploration,
     pareto_front,
+)
+from repro.explore.errors import (
+    EvaluationFailed,
+    LeaseHeld,
+    PoisonPoint,
+    StoreDegradedWarning,
+    WorkerCrash,
 )
 from repro.explore.evaluator import (
     Evaluation,
@@ -67,7 +75,7 @@ from repro.explore.space import (
     architecture_space,
     throughput_space,
 )
-from repro.explore.store import ResultStore, key_digest
+from repro.explore.store import FsckReport, ResultStore, key_digest
 from repro.explore.strategies import (
     AdaptiveStrategy,
     GridStrategy,
@@ -87,16 +95,23 @@ __all__ = [
     "Continuous",
     "DesignSpace",
     "Evaluation",
+    "EvaluationFailed",
     "Evaluator",
     "ExplorationResult",
+    "FsckReport",
     "GridStrategy",
     "Integer",
+    "Journal",
     "KernelSummary",
     "LatencyObjective",
+    "LeaseHeld",
     "Objective",
+    "PoisonPoint",
     "RandomStrategy",
     "ResultStore",
+    "StoreDegradedWarning",
     "Strategy",
+    "WorkerCrash",
     "architecture_space",
     "evaluate_design_point",
     "evaluate_design_points",

@@ -11,13 +11,32 @@ The returned :class:`ExplorationResult` carries every evaluation, the
 best point under the objective, per-architecture winners and the
 area-delay Pareto front — the raw material of the paper's Figure 15/16
 argument, for arbitrary kernels and spaces.
+
+Checkpoint/resume: pass ``journal=`` (a ``journal.jsonl`` path, by
+convention beside the result store — see
+:meth:`ResultStore.journal_path`) and every completed round is appended
+to it (fsync'd, torn tails tolerated). After an interruption — SIGKILL,
+power loss, a crashed machine — ``resume=True`` replays the journaled
+rounds against the warm store (zero new simulations), restores the
+strategy's state through the same ``tell`` feedback, and continues the
+search where it stopped. A journal written by a different exploration
+(kernel/objective/strategy fingerprint mismatch) is refused. Failed
+evaluations (quarantined poison points) score ``inf`` and are excluded
+from Pareto fronts and per-architecture winners, so one bad point never
+sinks a search.
 """
 
 from __future__ import annotations
 
+import json
 import math
+import os
+import warnings
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
+
+from repro.explore.errors import StoreDegradedWarning
 
 from repro.explore.evaluator import Evaluation, Evaluator
 from repro.explore.objectives import Objective
@@ -47,6 +66,11 @@ class ExplorationResult:
         return len(self.evaluations)
 
     @property
+    def failures(self) -> List[Evaluation]:
+        """Evaluations that failed (quarantined poison points)."""
+        return [e for e in self.evaluations if not e.ok]
+
+    @property
     def best_index(self) -> int:
         if not self.evaluations:
             raise ValueError("exploration evaluated no points")
@@ -64,6 +88,8 @@ class ExplorationResult:
         """Best (evaluation, score) for each value of ``dimension``."""
         winners: Dict[object, Tuple[Evaluation, float]] = {}
         for evaluation, score in zip(self.evaluations, self.scores):
+            if not evaluation.ok:
+                continue
             value = evaluation.point_dict.get(dimension)
             if value is None:
                 continue
@@ -78,9 +104,13 @@ class ExplorationResult:
 
 
 def pareto_front(evaluations: List[Evaluation]) -> List[Evaluation]:
-    """Evaluations no other point beats on both total area and delay."""
+    """Evaluations no other point beats on both total area and delay.
+
+    Failed evaluations (no simulation result) are excluded.
+    """
     ordered = sorted(
-        evaluations, key=lambda e: (e.total_area, e.result.makespan_us)
+        (e for e in evaluations if e.ok),
+        key=lambda e: (e.total_area, e.result.makespan_us),
     )
     front: List[Evaluation] = []
     best_delay = math.inf
@@ -91,6 +121,105 @@ def pareto_front(evaluations: List[Evaluation]) -> List[Evaluation]:
     return front
 
 
+class Journal:
+    """Round-level checkpoint log for one exploration.
+
+    One JSON line per completed round (plus a header fingerprinting the
+    exploration), appended and fsync'd after the round's evaluations and
+    strategy feedback land. A crash between rounds therefore loses at
+    most the in-flight round — and even that only costs re-reading the
+    warm result store on resume. Journal I/O failures degrade to a
+    :class:`StoreDegradedWarning`; checkpointing is never allowed to
+    kill the search it protects.
+    """
+
+    def __init__(self, path: os.PathLike, fingerprint: Dict[str, object]) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self._handle = None
+
+    def load_rounds(self) -> List[List[Dict]]:
+        """Completed rounds from a previous run (torn tails tolerated)."""
+        rounds: List[List[Dict]] = []
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except json.JSONDecodeError:
+                        break  # torn tail from a crash mid-append
+                    if not isinstance(entry, dict):
+                        break
+                    if entry.get("type") == "header":
+                        if entry.get("fingerprint") != self.fingerprint:
+                            raise ValueError(
+                                f"journal {self.path} was written by a "
+                                "different exploration (kernel/objective/"
+                                "strategy mismatch); remove it or start "
+                                "without resume"
+                            )
+                    elif entry.get("type") == "round":
+                        points = entry.get("points")
+                        if isinstance(points, list):
+                            rounds.append(points)
+        except FileNotFoundError:
+            return []
+        except OSError as exc:
+            warnings.warn(
+                f"journal unreadable ({exc}); starting fresh",
+                StoreDegradedWarning,
+                stacklevel=2,
+            )
+            return []
+        return rounds
+
+    def begin(self, fresh: bool) -> None:
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            existed = self.path.exists() and self.path.stat().st_size > 0
+            self._handle = open(
+                self.path, "w" if fresh else "a", encoding="utf-8"
+            )
+            if fresh or not existed:
+                self._append({"type": "header", "fingerprint": self.fingerprint})
+        except OSError as exc:
+            self._handle = None
+            warnings.warn(
+                f"journal unavailable ({exc}); exploring without checkpoints",
+                StoreDegradedWarning,
+                stacklevel=2,
+            )
+
+    def _append(self, entry: Dict) -> None:
+        if self._handle is None:
+            return
+        try:
+            self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except (OSError, ValueError) as exc:
+            self.close()
+            warnings.warn(
+                f"journal write failed ({exc}); checkpointing disabled",
+                StoreDegradedWarning,
+                stacklevel=3,
+            )
+
+    def record_round(self, points: List[Dict]) -> None:
+        self._append({"type": "round", "points": points})
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
+
+
 def explore(
     space: DesignSpace,
     objective: Objective,
@@ -98,6 +227,8 @@ def explore(
     *,
     evaluator: Evaluator,
     budget: int,
+    journal: Optional[os.PathLike] = None,
+    resume: bool = False,
 ) -> ExplorationResult:
     """Search ``space`` for the point minimizing ``objective``.
 
@@ -109,6 +240,12 @@ def explore(
         evaluator: Point evaluator; its result store makes re-runs and
             refinements incremental.
         budget: Maximum unique design points to evaluate.
+        journal: Optional checkpoint path (``journal.jsonl`` beside the
+            result store, by convention); completed rounds are logged so
+            an interrupted run can resume.
+        resume: Replay the journal's completed rounds first — served
+            from the warm store with zero new simulations — then keep
+            searching. Counts replayed points against ``budget``.
 
     The loop ends when the budget is spent, the strategy runs dry, or
     the strategy stalls (proposes only already-seen points several asks
@@ -123,31 +260,76 @@ def explore(
         objective_name=objective.name,
         strategy_name=type(strategy).__name__,
     )
+    log: Optional[Journal] = None
+    replayed: List[List[Dict]] = []
+    if journal is not None:
+        log = Journal(
+            journal,
+            {
+                "kernel": result.kernel,
+                "objective": result.objective_name,
+                "strategy": result.strategy_name,
+            },
+        )
+        if resume:
+            replayed = log.load_rounds()
+        log.begin(fresh=not resume)
     seen: set = set()
-    stalls = 0
-    while result.evaluated < budget and stalls < _STALL_LIMIT:
-        asked = strategy.ask(budget - result.evaluated)
-        if not asked:
-            break
-        fresh: List[Dict] = []
-        fresh_keys: set = set()
-        for point in asked:
-            key = evaluator.canonical_key(point)
-            if key in seen or key in fresh_keys:
-                continue
-            fresh.append(point)
-            fresh_keys.add(key)
-        if not fresh:
-            stalls += 1
-            strategy.tell([])
-            continue
-        stalls = 0
-        seen |= fresh_keys
-        evaluations = evaluator.evaluate(fresh)
-        scored = [(e, objective.score(e)) for e in evaluations]
+    replayed_points = 0
+
+    def run_round(points: List[Dict], checkpoint: bool) -> None:
+        evaluations = evaluator.evaluate(points)
+        scored = [
+            (e, objective.score(e) if e.ok else math.inf) for e in evaluations
+        ]
         result.evaluations.extend(e for e, _ in scored)
         result.scores.extend(s for _, s in scored)
         strategy.tell(scored)
+        if checkpoint and log is not None:
+            log.record_round([e.point_dict for e in evaluations])
+
+    try:
+        for points in replayed:
+            fresh = []
+            fresh_keys: set = set()
+            for point in points:
+                key = evaluator.canonical_key(point)
+                if key in seen or key in fresh_keys:
+                    continue
+                fresh.append(point)
+                fresh_keys.add(key)
+            if not fresh or result.evaluated >= budget:
+                continue
+            seen |= fresh_keys
+            replayed_points += len(fresh)
+            run_round(fresh, checkpoint=False)
+
+        # A resumed grid-style strategy re-proposes the replayed prefix
+        # before reaching new ground; allow it that many duplicate asks.
+        stall_limit = _STALL_LIMIT + replayed_points
+        stalls = 0
+        while result.evaluated < budget and stalls < stall_limit:
+            asked = strategy.ask(budget - result.evaluated)
+            if not asked:
+                break
+            fresh = []
+            fresh_keys = set()
+            for point in asked:
+                key = evaluator.canonical_key(point)
+                if key in seen or key in fresh_keys:
+                    continue
+                fresh.append(point)
+                fresh_keys.add(key)
+            if not fresh:
+                stalls += 1
+                strategy.tell([])
+                continue
+            stalls = 0
+            seen |= fresh_keys
+            run_round(fresh, checkpoint=True)
+    finally:
+        if log is not None:
+            log.close()
     result.simulations_run = evaluator.simulations_run - sims_before
     result.cache_hits = evaluator.cache_hits - hits_before
     return result
@@ -174,6 +356,13 @@ def format_exploration(result: ExplorationResult, pareto_rows: int = 12) -> str:
         f"({result.simulations_run} new simulations, "
         f"{result.cache_hits} served from the result store)",
     ]
+    failed = result.failures
+    if failed:
+        lines.append(
+            f"  {len(failed)} point(s) failed evaluation and were "
+            f"quarantined (first: {_point_label(failed[0])} — "
+            f"{failed[0].error})"
+        )
     if not result.evaluations:
         lines.append("  no feasible points evaluated")
         return "\n".join(lines)

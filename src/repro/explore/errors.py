@@ -1,0 +1,58 @@
+"""Failure taxonomy for the exploration subsystem.
+
+Exploration is a long-running, multi-process workload; the failure
+modes it must survive are first-class types here rather than bare
+``RuntimeError`` strings:
+
+* :class:`EvaluationFailed` — a design point could not be evaluated
+  (the root of the taxonomy; carries the canonical point);
+* :class:`WorkerCrash` — a pool worker died mid-chunk (SIGKILL, OOM,
+  ``os._exit``): the :class:`~repro.explore.evaluator.Evaluator`
+  rebuilds the pool and retries, so user code normally never sees it;
+* :class:`PoisonPoint` — one design point failed repeatedly after
+  retry and bisection isolated it; the evaluator quarantines it and
+  returns a structured failed ``Evaluation`` instead of raising;
+* :class:`LeaseHeld` — a cooperative claim on a store key is held by
+  another live evaluator (see :meth:`ResultStore.hold`).
+
+:class:`StoreDegradedWarning` is the warning category emitted when the
+result store cannot persist an evaluation (``ENOSPC``, read-only cache
+directory, injected I/O faults): the exploration continues with
+in-memory results rather than crashing hours into a sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class EvaluationFailed(Exception):
+    """A design point could not be evaluated.
+
+    Attributes:
+        point: The canonical design point, when known.
+    """
+
+    def __init__(self, message: str, point: Optional[Dict] = None) -> None:
+        super().__init__(message)
+        self.point = dict(point) if point is not None else None
+
+
+class WorkerCrash(EvaluationFailed):
+    """A worker process died while evaluating a chunk (pool broken)."""
+
+
+class PoisonPoint(EvaluationFailed):
+    """A point that keeps failing after retries; quarantined."""
+
+
+class LeaseHeld(Exception):
+    """Another evaluator holds the lease on this store key."""
+
+    def __init__(self, message: str, owner: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.owner = owner
+
+
+class StoreDegradedWarning(UserWarning):
+    """The result store could not persist/read an entry and degraded."""

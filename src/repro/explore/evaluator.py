@@ -21,7 +21,23 @@ the compiled dataflow engine. It
 * shards cache misses across ``workers=N`` processes, compiling the
   kernel **once per worker** via a ``ProcessPoolExecutor`` initializer —
   tasks are bare point-dict chunks, so nothing heavyweight is re-pickled,
-  and each worker batch-resolves its shard of the points axis.
+  and each worker batch-resolves its shard of the points axis;
+* **survives worker failure**: each chunk is its own future with a
+  configurable ``timeout``; a crashed worker (``BrokenProcessPool`` —
+  SIGKILL, OOM, segfault) rebuilds the pool and re-enqueues the lost
+  chunks; a failing chunk is *bisected* until the offending point is
+  isolated, retried ``retries`` times with exponential backoff, and
+  finally **quarantined** — returned as a structured failed
+  :class:`Evaluation` (``error`` set, score ``inf`` downstream) instead
+  of sinking its chunk-mates or the whole exploration. If the pool
+  proves unrecoverable, evaluation degrades to serial in-process runs.
+  Successful results stay bit-identical to the serial path throughout;
+* **coordinates with concurrent evaluators** sharing one result store
+  through the store's lease protocol: misses are claimed before
+  simulation, contested points are awaited (the other evaluator's
+  result arrives as a cache hit), and stale leases from dead evaluators
+  are reclaimed — so N explorers over one keyspace simulate each unique
+  point at most once.
 
 Two construction modes:
 
@@ -40,7 +56,10 @@ Two construction modes:
 from __future__ import annotations
 
 import math
-from concurrent.futures import ProcessPoolExecutor
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -56,6 +75,7 @@ from repro.circuits.compiled import CompiledCircuit, compile_circuit
 from repro.explore.store import ResultStore, canonical_json
 from repro.layout.region import data_qubit_area
 from repro.tech import ION_TRAP, TechnologyParams
+from repro.testing import faults
 
 ENGINES = ("compiled", "legacy")
 
@@ -100,14 +120,37 @@ class KernelSummary:
 
 @dataclass(frozen=True)
 class Evaluation:
-    """One evaluated design point: simulation outcome plus area accounting."""
+    """One evaluated design point: simulation outcome plus area accounting.
+
+    A *failed* evaluation (a quarantined poison point) carries
+    ``result=None`` and a human-readable ``error``; it scores ``inf``
+    under every objective and is excluded from Pareto fronts and
+    per-dimension winners. Check :attr:`ok` before touching ``result``.
+    """
 
     point: Tuple[Tuple[str, object], ...]
-    result: SimulationResult
+    result: Optional[SimulationResult]
     factory_area: float
     data_area: float
     total_area: float
     from_cache: bool = field(default=False, compare=False)
+    error: Optional[str] = None
+
+    @classmethod
+    def failure(cls, point: Dict[str, object], error: str) -> "Evaluation":
+        """A structured evaluation failure for a quarantined point."""
+        return cls(
+            point=tuple(sorted(point.items())),
+            result=None,
+            factory_area=0.0,
+            data_area=0.0,
+            total_area=0.0,
+            error=error,
+        )
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.result is not None
 
     @property
     def point_dict(self) -> Dict[str, object]:
@@ -115,7 +158,7 @@ class Evaluation:
 
     @property
     def makespan_ms(self) -> float:
-        return self.result.makespan_ms
+        return math.inf if self.result is None else self.result.makespan_ms
 
 
 def tech_fingerprint(tech: TechnologyParams) -> Dict[str, object]:
@@ -430,6 +473,8 @@ def _evaluate_grouped(
     ``code_level`` runs each level's homogeneous points through the
     point-batched engine. Output order matches input order.
     """
+    for point in points:
+        faults.check("evaluate", point)
     out: List[Optional[Evaluation]] = [None] * len(points)
     by_key: Dict[Tuple[float, int], List[int]] = {}
     for i, point in enumerate(points):
@@ -494,12 +539,25 @@ class Evaluator:
             ``cqla_cache_fraction`` / ``cqla_ports`` explicitly.
         store: Optional :class:`ResultStore`; every evaluation is
             persisted and repeat points are served from disk.
+        retries: How many times a failing point is retried (after
+            bisection has isolated it) before being quarantined.
+        timeout: Per-chunk wall-clock budget in seconds for pooled
+            evaluation; an overdue chunk's workers are killed, the pool
+            rebuilt and the chunk retried/bisected. ``None`` disables.
+        retry_backoff: Base of the exponential backoff (seconds) slept
+            between retries and pool rebuilds.
+        leases: Coordinate with concurrent evaluators sharing ``store``
+            via its lease protocol (claim misses, await contested
+            points, reclaim stale leases). Ignored without a store.
 
-    Counters (reset never; read after a run):
+    Counters (reset never; read via :meth:`stats` after a run):
 
-    * ``simulations_run`` — fresh simulator executions;
+    * ``simulations_run`` — fresh, successful simulator evaluations;
     * ``cache_hits`` — points served from the result store;
-    * ``dedup_hits`` — points collapsed onto an identical batch-mate.
+    * ``dedup_hits`` — points collapsed onto an identical batch-mate;
+    * ``retries`` — point/chunk re-executions after a failure;
+    * ``worker_crashes`` — pool breakages and timeout kills survived;
+    * ``quarantined`` — points that kept failing and were isolated.
     """
 
     def __init__(
@@ -514,6 +572,10 @@ class Evaluator:
         compiled: Optional[CompiledCircuit] = None,
         cqla: Optional[CqlaConfig] = None,
         store: Optional[ResultStore] = None,
+        retries: int = 2,
+        timeout: Optional[float] = None,
+        retry_backoff: float = 0.1,
+        leases: bool = True,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
@@ -521,6 +583,10 @@ class Evaluator:
             raise ValueError("pass exactly one of analysis= or kernel=/width=")
         if kernel is not None and width is None:
             raise ValueError("spec mode needs width= alongside kernel=")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
         self._analysis = analysis
         self._kernel = kernel
         self._width = width
@@ -529,9 +595,20 @@ class Evaluator:
         self._workers = workers
         self._cqla = cqla
         self.store = store
+        self._retries = retries
+        self._timeout = timeout
+        self._retry_backoff = retry_backoff
+        self._leases = leases
+        self._lease_poll = 0.05
+        self._quarantine: Dict[str, str] = {}
+        self._active_leases: List[Dict[str, object]] = []
+        self._last_heartbeat = 0.0
         self.simulations_run = 0
         self.cache_hits = 0
         self.dedup_hits = 0
+        self.retries = 0
+        self.worker_crashes = 0
+        self.quarantined = 0
         self._summary: Optional[KernelSummary] = (
             KernelSummary.from_analysis(analysis) if analysis is not None else None
         )
@@ -638,6 +715,17 @@ class Evaluator:
 
     # ------------------------------------------------------------------
 
+    def stats(self) -> Dict[str, int]:
+        """Health counters accumulated over this evaluator's lifetime."""
+        return {
+            "simulations_run": self.simulations_run,
+            "cache_hits": self.cache_hits,
+            "dedup_hits": self.dedup_hits,
+            "retries": self.retries,
+            "worker_crashes": self.worker_crashes,
+            "quarantined": self.quarantined,
+        }
+
     def evaluate(self, points: Sequence[Dict[str, object]]) -> List[Evaluation]:
         """Evaluate ``points``, returning evaluations aligned with them.
 
@@ -645,7 +733,12 @@ class Evaluator:
         store hits are served from disk; the remaining misses resolve in
         homogeneous point-batched groups, serially or sharded across
         ``workers`` processes (deterministic and bit-identical to
-        point-by-point runs either way).
+        point-by-point runs either way). When a store with leases is
+        attached, misses are claimed first; points another evaluator is
+        already simulating are awaited rather than recomputed. Points
+        that fail persistently come back as failed evaluations
+        (``Evaluation.ok == False``) and are quarantined: later batches
+        get the failure back without touching the simulator.
         """
         canonical = [self.canonicalize(p) for p in points]
         keys = [canonical_json(c) for c in canonical]
@@ -658,6 +751,9 @@ class Evaluator:
         resolved: Dict[str, Evaluation] = {}
         misses: List[Tuple[str, Dict[str, object]]] = []
         for key, cpoint in unique.items():
+            if key in self._quarantine:
+                resolved[key] = Evaluation.failure(cpoint, self._quarantine[key])
+                continue
             hit = None
             if self.store is not None:
                 record = self.store.get(self._store_key(cpoint))
@@ -669,48 +765,310 @@ class Evaluator:
             else:
                 misses.append((key, cpoint))
 
-        if misses:
-            fresh = self._run(misses)
-            self.simulations_run += len(fresh)
-            for (key, cpoint), evaluation in zip(misses, fresh):
+        use_leases = self.store is not None and self._leases
+        owned, contested = misses, []
+        if use_leases and misses:
+            owned, contested = [], []
+            for key, cpoint in misses:
+                if self.store.claim(self._store_key(cpoint)):
+                    owned.append((key, cpoint))
+                else:
+                    contested.append((key, cpoint))
+
+        if owned:
+            if use_leases:
+                self._active_leases = [self._store_key(c) for _, c in owned]
+            try:
+                fresh = self._run(owned)
+            finally:
+                self._active_leases = []
+            self.simulations_run += sum(1 for e in fresh if e.ok)
+            for (key, cpoint), evaluation in zip(owned, fresh):
                 resolved[key] = evaluation
-                if self.store is not None:
-                    self.store.put(
-                        self._store_key(cpoint), self._to_record(evaluation)
-                    )
+                if evaluation.ok:
+                    if self.store is not None:
+                        self.store.put(
+                            self._store_key(cpoint), self._to_record(evaluation)
+                        )
+                else:
+                    self._quarantine[key] = evaluation.error
+                if use_leases:
+                    self.store.release(self._store_key(cpoint))
+        for key, cpoint in contested:
+            resolved[key] = self._await_contested(key, cpoint)
         return [resolved[key] for key in keys]
+
+    # ------------------------------------------------------------------
+    # Fault-tolerant execution
+
+    def _sleep_backoff(self, attempt: int) -> None:
+        if self._retry_backoff > 0:
+            time.sleep(min(self._retry_backoff * 2 ** (attempt - 1), 2.0))
+
+    def _heartbeat_leases(self) -> None:
+        """Refresh owned leases (throttled) so they never look stale."""
+        if self.store is None or not self._active_leases:
+            return
+        now = time.monotonic()
+        if now - self._last_heartbeat < min(5.0, self.store.lease_ttl / 4):
+            return
+        self._last_heartbeat = now
+        for key in self._active_leases:
+            self.store.heartbeat(key)
+
+    def _evaluate_one_serial(self, cpoint: Dict[str, object]) -> Evaluation:
+        """One point, in-process, retried with backoff, then quarantined."""
+        failures = 0
+        while True:
+            try:
+                return _evaluate_grouped(
+                    self._serial_context, [cpoint], self._engine
+                )[0]
+            except Exception as exc:
+                failures += 1
+                if failures > self._retries:
+                    self.quarantined += 1
+                    return Evaluation.failure(
+                        cpoint, f"{type(exc).__name__}: {exc}"
+                    )
+                self.retries += 1
+                self._sleep_backoff(failures)
+
+    def _run_serial(self, tasks: List[Dict[str, object]]) -> List[Evaluation]:
+        """Serial path: batch-resolve; isolate per point on failure."""
+        try:
+            return _evaluate_grouped(self._serial_context, tasks, self._engine)
+        except Exception:
+            # A poison point sank the batch: evaluate point by point so
+            # only the offender is quarantined, not its batch-mates.
+            self.retries += 1
+            return [self._evaluate_one_serial(cpoint) for cpoint in tasks]
+
+    def _await_contested(self, key: str, cpoint: Dict[str, object]) -> Evaluation:
+        """Wait out another evaluator's lease on ``cpoint``.
+
+        The happy path is the other evaluator landing the record (we
+        serve it as a cache hit). If its lease goes stale — the process
+        died — we reclaim and simulate the point ourselves.
+        """
+        store_key = self._store_key(cpoint)
+        while True:
+            record = self.store.get(store_key)
+            if record is not None:
+                hit = self._from_record(record, cpoint)
+                if hit is not None:
+                    self.cache_hits += 1
+                    return hit
+            if self.store.claim(store_key):
+                try:
+                    # The owner may have landed the record between our
+                    # miss above and the claim.
+                    record = self.store.get(store_key)
+                    if record is not None:
+                        hit = self._from_record(record, cpoint)
+                        if hit is not None:
+                            self.cache_hits += 1
+                            return hit
+                    evaluation = self._evaluate_one_serial(cpoint)
+                    if evaluation.ok:
+                        self.simulations_run += 1
+                        self.store.put(store_key, self._to_record(evaluation))
+                    else:
+                        self._quarantine[key] = evaluation.error
+                    return evaluation
+                finally:
+                    self.store.release(store_key)
+            time.sleep(self._lease_poll)
+
+    def _make_pool(self, max_workers: int) -> ProcessPoolExecutor:
+        if self._kernel is not None:
+            initializer, initargs = _init_worker_spec, (
+                self._kernel,
+                self._width,
+                self._tech,
+                self._engine,
+            )
+        else:
+            initializer, initargs = _init_worker_summary, (
+                self._summary,
+                self._engine,
+            )
+        return ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=initializer,
+            initargs=initargs,
+        )
+
+    @staticmethod
+    def _kill_pool(pool: Optional[ProcessPoolExecutor]) -> None:
+        """Tear a pool down hard — hung workers get SIGKILL, not a join."""
+        if pool is None:
+            return
+        try:
+            for proc in list(getattr(pool, "_processes", {}).values()):
+                proc.kill()
+        except Exception:
+            pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
 
     def _run(
         self, misses: List[Tuple[str, Dict[str, object]]]
     ) -> List[Evaluation]:
         tasks = [cpoint for _, cpoint in misses]
         workers = self._workers
-        if workers is not None and workers > 1 and len(tasks) > 1:
-            max_workers = min(workers, len(tasks))
-            chunksize = math.ceil(len(tasks) / max_workers)
-            chunks = [
-                tasks[start : start + chunksize]
-                for start in range(0, len(tasks), chunksize)
-            ]
-            if self._kernel is not None:
-                initializer, initargs = _init_worker_spec, (
-                    self._kernel,
-                    self._width,
-                    self._tech,
-                    self._engine,
-                )
+        if workers is None or workers <= 1 or len(tasks) <= 1:
+            return self._run_serial(tasks)
+        return self._run_pool(tasks, min(workers, len(tasks)))
+
+    def _run_pool(
+        self, tasks: List[Dict[str, object]], max_workers: int
+    ) -> List[Evaluation]:
+        """Shard ``tasks`` across a worker pool, surviving its failures.
+
+        Each chunk is one future. Chunk failure (worker crash, raised
+        exception, timeout) bisects multi-point chunks to isolate the
+        poison; singleton failures retry with backoff up to ``retries``
+        times, then quarantine. Pool breakage rebuilds the pool (with
+        backoff, up to a rebuild budget); beyond the budget the
+        remaining work degrades to serial in-process evaluation.
+        Successful results are bit-identical to a serial, fault-free
+        run — chunk boundaries only affect scheduling, never values.
+        """
+        chunksize = math.ceil(len(tasks) / max_workers)
+        queue = deque(
+            list(range(start, min(start + chunksize, len(tasks))))
+            for start in range(0, len(tasks), chunksize)
+        )
+        out: List[Optional[Evaluation]] = [None] * len(tasks)
+        failures: Dict[int, int] = {}
+        rebuilds = 0
+        max_rebuilds = 8 + 2 * self._retries + len(tasks)
+
+        def fail_chunk(indices: List[int], label: str) -> None:
+            if len(indices) > 1:
+                mid = len(indices) // 2
+                queue.append(indices[:mid])
+                queue.append(indices[mid:])
+                return
+            idx = indices[0]
+            failures[idx] = failures.get(idx, 0) + 1
+            if failures[idx] > self._retries:
+                self.quarantined += 1
+                out[idx] = Evaluation.failure(tasks[idx], label)
             else:
-                initializer, initargs = _init_worker_summary, (
-                    self._summary,
-                    self._engine,
+                self.retries += 1
+                self._sleep_backoff(failures[idx])
+                queue.append(indices)
+
+        def rebuild(pool: Optional[ProcessPoolExecutor]):
+            nonlocal rebuilds
+            self._kill_pool(pool)
+            if rebuilds >= max_rebuilds:
+                return None
+            rebuilds += 1
+            self._sleep_backoff(rebuilds)
+            try:
+                return self._make_pool(max_workers)
+            except Exception:
+                return None
+
+        try:
+            pool: Optional[ProcessPoolExecutor] = self._make_pool(max_workers)
+        except Exception:
+            pool = None
+        pending: Dict[object, Tuple[List[int], Optional[float]]] = {}
+        try:
+            while queue or pending:
+                if pool is None and not pending:
+                    # Unrecoverable pool: degrade to in-process serial
+                    # evaluation of whatever is left.
+                    while queue:
+                        for idx in queue.popleft():
+                            if out[idx] is None:
+                                out[idx] = self._evaluate_one_serial(tasks[idx])
+                    break
+                while queue and pool is not None:
+                    indices = queue.popleft()
+                    deadline = (
+                        time.monotonic() + self._timeout
+                        if self._timeout is not None
+                        else None
+                    )
+                    try:
+                        future = pool.submit(
+                            _worker_evaluate_chunk, [tasks[i] for i in indices]
+                        )
+                    except Exception:
+                        queue.appendleft(indices)
+                        self.worker_crashes += 1
+                        pool = rebuild(pool)
+                        break
+                    pending[future] = (indices, deadline)
+                if not pending:
+                    continue
+                wait_for = None
+                if self._timeout is not None:
+                    now = time.monotonic()
+                    wait_for = max(
+                        0.0,
+                        min(d for _, d in pending.values() if d is not None)
+                        - now,
+                    )
+                done, _ = wait(
+                    set(pending), timeout=wait_for, return_when=FIRST_COMPLETED
                 )
-            with ProcessPoolExecutor(
-                max_workers=max_workers,
-                initializer=initializer,
-                initargs=initargs,
-            ) as pool:
-                out: List[Evaluation] = []
-                for chunk in pool.map(_worker_evaluate_chunk, chunks):
-                    out.extend(chunk)
-                return out
-        return _evaluate_grouped(self._serial_context, tasks, self._engine)
+                if not done:
+                    # Deadline expired with nothing finished: the pool is
+                    # wedged (hung worker). Kill it; overdue chunks count
+                    # as failures, in-flight innocents requeue intact.
+                    now = time.monotonic()
+                    overdue = [
+                        f
+                        for f, (_, d) in pending.items()
+                        if d is not None and now >= d
+                    ]
+                    if not overdue:
+                        continue
+                    self.worker_crashes += 1
+                    for future, (indices, _) in list(pending.items()):
+                        if future in overdue:
+                            fail_chunk(
+                                indices,
+                                f"timeout: chunk exceeded {self._timeout}s",
+                            )
+                        else:
+                            queue.append(indices)
+                    pending.clear()
+                    pool = rebuild(pool)
+                    continue
+                # Handle clean results before pool-breakage casualties so
+                # completed work is not requeued alongside the crash.
+                for future in sorted(done, key=lambda f: f.exception() is not None):
+                    entry = pending.pop(future, None)
+                    if entry is None:
+                        continue
+                    indices, _ = entry
+                    try:
+                        evaluations = future.result()
+                    except BrokenProcessPool:
+                        self.worker_crashes += 1
+                        fail_chunk(indices, "worker crashed (pool broken)")
+                        # Every other in-flight future is toast too;
+                        # requeue their chunks intact (no failure charged).
+                        for _, (other, _) in pending.items():
+                            queue.append(other)
+                        pending.clear()
+                        pool = rebuild(pool)
+                    except Exception as exc:
+                        fail_chunk(indices, f"{type(exc).__name__}: {exc}")
+                    else:
+                        for i, evaluation in zip(indices, evaluations):
+                            out[i] = evaluation
+                        self._heartbeat_leases()
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+        return out

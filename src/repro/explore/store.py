@@ -20,11 +20,36 @@ simulator evaluations, and *refined* searches only pay for points they
 have never seen. Anything that changes the simulation — new tech
 params, a different kernel width, an engine fix that bumps the schema —
 lands on different digests, so stale entries are never returned; they
-are merely garbage, reclaimable with :meth:`ResultStore.clear`.
+are merely garbage, reportable and reclaimable with
+:meth:`ResultStore.fsck` (``repro cache fsck``) or wholesale with
+:meth:`ResultStore.clear`.
 
-Writes are atomic (temp file + ``os.replace``) so concurrent explorations
-sharing a store never observe torn records; corrupt or foreign files are
-treated as misses.
+Durability and fault behaviour:
+
+* writes are atomic (temp file + ``fsync`` + ``os.replace``) so
+  concurrent explorations sharing a store never observe torn records
+  even across power loss;
+* a failed write (``ENOSPC``, read-only cache dir) degrades to a
+  :class:`~repro.explore.errors.StoreDegradedWarning` instead of
+  crashing the exploration — the evaluation lives on in memory;
+* corrupt, torn or stale-schema files read as misses everywhere
+  (:meth:`get`, :meth:`records`, :meth:`__len__` all apply the same
+  schema gate).
+
+Concurrency — the lease protocol:
+
+Multiple evaluators sharing one store coordinate through *lease files*
+(``<digest>.lease`` beside the record). :meth:`claim` atomically takes
+the lease (``O_CREAT | O_EXCL``); the owner heartbeats it
+(:meth:`heartbeat` refreshes the file's mtime at batch boundaries) while
+simulating, :meth:`put`\\ s the record and :meth:`release`\\ s. A
+contender that fails to claim waits for the record to appear; if the
+owner dies, its lease goes stale (no heartbeat for ``lease_ttl``
+seconds) and a contender reclaims it. Reclamation replaces the lease
+with the contender's own token and reads it back, so of several racing
+reclaimers exactly one (the last writer) proceeds. The protocol is
+cooperative — it deduplicates work; correctness never depends on it
+because :meth:`put` is idempotent last-writer-wins.
 """
 
 from __future__ import annotations
@@ -32,11 +57,24 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import socket
 import tempfile
+import time
+import uuid
+import warnings
+from contextlib import contextmanager
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, List, Optional
+
+from repro.explore.errors import LeaseHeld, StoreDegradedWarning
+from repro.testing import faults
 
 SCHEMA_VERSION = 1
+
+#: Seconds without a heartbeat after which a lease is considered
+#: abandoned and may be reclaimed by another evaluator.
+DEFAULT_LEASE_TTL = 300.0
 
 _DEFAULT_ROOT = ".repro_cache"
 
@@ -55,67 +93,247 @@ def default_root() -> Path:
     return Path(os.environ.get("REPRO_CACHE_DIR", _DEFAULT_ROOT))
 
 
+def _fault_point(key: Dict) -> Optional[Dict]:
+    """The design-point part of a key, for fault-rule matching."""
+    point = key.get("point") if isinstance(key, dict) else None
+    return point if isinstance(point, dict) else None
+
+
+@dataclass
+class FsckReport:
+    """What :meth:`ResultStore.fsck` found (and optionally removed)."""
+
+    ok: int = 0
+    corrupt: List[str] = field(default_factory=list)
+    stale_schema: List[str] = field(default_factory=list)
+    foreign: List[str] = field(default_factory=list)
+    stale_leases: List[str] = field(default_factory=list)
+    removed: int = 0
+
+    @property
+    def bad(self) -> int:
+        return len(self.corrupt) + len(self.stale_schema) + len(self.foreign)
+
+
 class ResultStore:
     """One JSON file per evaluation, named by the key's SHA-256.
 
     Args:
         root: Cache root directory; evaluations live in ``root/explore``.
             Defaults to ``.repro_cache`` (or ``$REPRO_CACHE_DIR``).
+        owner: Lease-owner identity; defaults to a unique
+            ``host:pid:nonce`` token per store instance.
+        lease_ttl: Seconds without a heartbeat before a lease counts as
+            stale and may be reclaimed.
     """
 
-    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        *,
+        owner: Optional[str] = None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+    ) -> None:
         self.root = Path(root) if root is not None else default_root()
         self.directory = self.root / "explore"
+        self.owner = owner or (
+            f"{socket.gethostname()}:{os.getpid()}:{uuid.uuid4().hex[:8]}"
+        )
+        self.lease_ttl = float(lease_ttl)
 
     # ------------------------------------------------------------------
 
     def _path(self, key: Dict) -> Path:
         return self.directory / f"{key_digest(key)}.json"
 
+    def _lease_path(self, key: Dict) -> Path:
+        return self.directory / f"{key_digest(key)}.lease"
+
+    def journal_path(self) -> Path:
+        """Where :func:`repro.explore.engine.explore` journals rounds."""
+        return self.root / "journal.jsonl"
+
+    @staticmethod
+    def _valid(record: object) -> bool:
+        return isinstance(record, dict) and record.get("schema") == SCHEMA_VERSION
+
     def get(self, key: Dict) -> Optional[Dict]:
         """The stored record for ``key``, or None (corrupt files miss)."""
         path = self._path(key)
         try:
+            faults.check("store_get", _fault_point(key))
             with open(path, "r", encoding="utf-8") as handle:
                 record = json.load(handle)
         except (OSError, json.JSONDecodeError):
             return None
-        if not isinstance(record, dict) or record.get("schema") != SCHEMA_VERSION:
+        if not self._valid(record):
             return None
         return record
 
-    def put(self, key: Dict, record: Dict) -> None:
-        """Persist ``record`` under ``key`` (atomic, last-writer-wins)."""
-        self.directory.mkdir(parents=True, exist_ok=True)
+    def put(self, key: Dict, record: Dict) -> bool:
+        """Persist ``record`` under ``key`` (atomic, last-writer-wins).
+
+        Returns True on success. On I/O failure (``ENOSPC``, read-only
+        cache directory) the store degrades: a
+        :class:`StoreDegradedWarning` is emitted and False returned, so
+        a long exploration keeps its in-memory results instead of
+        crashing on a full disk.
+        """
         document = dict(record)
         document["schema"] = SCHEMA_VERSION
         document["key"] = key
         payload = json.dumps(document, sort_keys=True, indent=1)
-        # Suffix must not be ".json": in-flight temp files would match the
-        # "*.json" globs in __len__/records()/clear().
-        fd, temp = tempfile.mkstemp(
-            dir=self.directory, prefix=".inflight-", suffix=".tmp"
-        )
+        payload = faults.mangle("store_put", _fault_point(key), payload)
+        temp = None
         try:
+            faults.check("store_put", _fault_point(key))
+            self.directory.mkdir(parents=True, exist_ok=True)
+            # Suffix must not be ".json": in-flight temp files would match
+            # the "*.json" globs in __len__/records()/clear().
+            fd, temp = tempfile.mkstemp(
+                dir=self.directory, prefix=".inflight-", suffix=".tmp"
+            )
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(temp, self._path(key))
-        except BaseException:
+            return True
+        except OSError as exc:
+            warnings.warn(
+                f"result store write failed ({exc}); continuing without "
+                f"persistence for this evaluation",
+                StoreDegradedWarning,
+                stacklevel=2,
+            )
+            return False
+        finally:
+            if temp is not None and os.path.exists(temp):
+                try:
+                    os.unlink(temp)
+                except OSError:
+                    pass
+
+    # ------------------------------------------------------------------
+    # Leases
+
+    def _write_lease(self, path: Path, exclusive: bool) -> bool:
+        payload = canonical_json(
+            {"owner": self.owner, "pid": os.getpid(), "claimed": time.time()}
+        )
+        try:
+            if exclusive:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(payload)
+            else:
+                # Reclaim path: atomically replace, then read back — of
+                # several racing reclaimers only the last writer sees its
+                # own token and proceeds.
+                fd, temp = tempfile.mkstemp(
+                    dir=self.directory, prefix=".inflight-", suffix=".tmp"
+                )
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(payload)
+                os.replace(temp, path)
+                time.sleep(0)  # let racing replacers land
+                return self.lease_owner(path) == self.owner
+            return True
+        except FileExistsError:
+            return False
+        except OSError as exc:
+            warnings.warn(
+                f"lease write failed ({exc}); proceeding without a claim",
+                StoreDegradedWarning,
+                stacklevel=3,
+            )
+            return True  # fail open: correctness never depends on leases
+
+    def lease_owner(self, key_or_path) -> Optional[str]:
+        """Owner token of the live lease for ``key``, or None."""
+        path = (
+            key_or_path
+            if isinstance(key_or_path, Path)
+            else self._lease_path(key_or_path)
+        )
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                lease = json.load(handle)
+            return lease.get("owner") if isinstance(lease, dict) else None
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def _lease_stale(self, path: Path) -> bool:
+        try:
+            return (time.time() - path.stat().st_mtime) > self.lease_ttl
+        except OSError:
+            return False
+
+    def claim(self, key: Dict) -> bool:
+        """Try to take the lease on ``key``; True when this store owns it.
+
+        A missing lease is claimed atomically; a stale one (mtime older
+        than ``lease_ttl``) is reclaimed; a live one held by someone
+        else — or already by us — yields False/True respectively without
+        touching the file.
+        """
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            warnings.warn(
+                f"lease directory unavailable ({exc}); proceeding unclaimed",
+                StoreDegradedWarning,
+                stacklevel=2,
+            )
+            return True  # fail open
+        path = self._lease_path(key)
+        if self._write_lease(path, exclusive=True):
+            return True
+        if self.lease_owner(path) == self.owner:
+            return True
+        if self._lease_stale(path):
+            return self._write_lease(path, exclusive=False)
+        return False
+
+    def release(self, key: Dict) -> None:
+        """Drop our lease on ``key`` (a lease we don't own is left alone)."""
+        path = self._lease_path(key)
+        if self.lease_owner(path) == self.owner:
             try:
-                os.unlink(temp)
+                path.unlink()
             except OSError:
                 pass
-            raise
+
+    def heartbeat(self, key: Dict) -> None:
+        """Refresh our lease's mtime so it doesn't go stale mid-run."""
+        path = self._lease_path(key)
+        if self.lease_owner(path) == self.owner:
+            try:
+                os.utime(path)
+            except OSError:
+                pass
+
+    @contextmanager
+    def hold(self, key: Dict):
+        """Context-managed claim; raises :class:`LeaseHeld` if contested."""
+        if not self.claim(key):
+            raise LeaseHeld(
+                f"lease on {key_digest(key)[:12]}… held by another evaluator",
+                owner=self.lease_owner(key),
+            )
+        try:
+            yield
+        finally:
+            self.release(key)
 
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        if not self.directory.is_dir():
-            return 0
-        return sum(1 for _ in self.directory.glob("*.json"))
+        """Valid (current-schema) records on disk — same gate as ``get``."""
+        return sum(1 for _ in self.records())
 
     def records(self) -> Iterator[Dict]:
-        """All readable records (corrupt files skipped)."""
+        """All valid records (corrupt and stale-schema files skipped)."""
         if not self.directory.is_dir():
             return
         for path in sorted(self.directory.glob("*.json")):
@@ -124,8 +342,57 @@ class ResultStore:
                     record = json.load(handle)
             except (OSError, json.JSONDecodeError):
                 continue
-            if isinstance(record, dict):
+            if self._valid(record):
                 yield record
+
+    def fsck(self, remove: bool = False) -> FsckReport:
+        """Audit the store; optionally remove everything unhealthy.
+
+        Classifies each ``*.json`` entry as ok / ``corrupt`` (unreadable
+        or not a record) / ``stale_schema`` / ``foreign`` (filename does
+        not match the content address of the embedded key — a renamed or
+        tampered file), and each ``*.lease`` as live or stale. With
+        ``remove=True`` the unhealthy entries and stale leases are
+        deleted.
+        """
+        report = FsckReport()
+        if not self.directory.is_dir():
+            return report
+        for path in sorted(self.directory.glob("*.json")):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    record = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                report.corrupt.append(path.name)
+                continue
+            if not isinstance(record, dict):
+                report.corrupt.append(path.name)
+            elif record.get("schema") != SCHEMA_VERSION:
+                report.stale_schema.append(path.name)
+            elif (
+                not isinstance(record.get("key"), dict)
+                or key_digest(record["key"]) != path.stem
+            ):
+                report.foreign.append(path.name)
+            else:
+                report.ok += 1
+        for path in sorted(self.directory.glob("*.lease")):
+            if self._lease_stale(path):
+                report.stale_leases.append(path.name)
+        if remove:
+            doomed = (
+                report.corrupt
+                + report.stale_schema
+                + report.foreign
+                + report.stale_leases
+            )
+            for name in doomed:
+                try:
+                    (self.directory / name).unlink()
+                    report.removed += 1
+                except OSError:
+                    pass
+        return report
 
     def clear(self) -> int:
         """Delete every stored evaluation; returns the number removed."""
@@ -135,6 +402,11 @@ class ResultStore:
                 try:
                     path.unlink()
                     removed += 1
+                except OSError:
+                    pass
+            for path in self.directory.glob("*.lease"):
+                try:
+                    path.unlink()
                 except OSError:
                     pass
         return removed

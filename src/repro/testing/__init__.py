@@ -1,0 +1,12 @@
+"""Test-support utilities shipped with the package.
+
+:mod:`repro.testing.faults` is the fault-injection harness behind the
+``tests/faults/`` suite: it lets tests kill workers mid-chunk, poison
+individual design points, hang evaluations, and corrupt result-store
+I/O — through hooks that are inert (a handful of ``is None`` checks)
+unless a fault plan is armed.
+"""
+
+from repro.testing.faults import FaultPlan, FaultRule, active_plan, arm, check
+
+__all__ = ["FaultPlan", "FaultRule", "active_plan", "arm", "check"]

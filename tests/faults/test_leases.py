@@ -1,0 +1,141 @@
+"""The store's lease protocol: claims, staleness, and the acceptance
+property — two concurrent evaluators sharing one store simulate each
+unique point exactly once between them.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.explore import Evaluator, LeaseHeld, ResultStore
+from repro.testing.faults import FaultPlan, FaultRule
+
+
+class TestLeaseProtocol:
+    KEY = {"kernel": "qrca", "width": 8, "point": {"arch": "qla"}}
+
+    def test_claim_release_cycle(self, tmp_path):
+        a = ResultStore(tmp_path)
+        b = ResultStore(tmp_path)
+        assert a.claim(self.KEY)
+        assert a.claim(self.KEY)  # re-entrant for the same owner
+        assert not b.claim(self.KEY)
+        a.release(self.KEY)
+        assert b.claim(self.KEY)
+
+    def test_release_leaves_foreign_lease_alone(self, tmp_path):
+        a = ResultStore(tmp_path)
+        b = ResultStore(tmp_path)
+        assert a.claim(self.KEY)
+        b.release(self.KEY)  # not b's to drop
+        assert not b.claim(self.KEY)
+
+    def test_stale_lease_reclaimed(self, tmp_path):
+        a = ResultStore(tmp_path, lease_ttl=0.2)
+        b = ResultStore(tmp_path, lease_ttl=0.2)
+        assert a.claim(self.KEY)
+        time.sleep(0.3)  # a dies silently: no heartbeat
+        assert b.claim(self.KEY)
+        assert not a.claim(self.KEY)  # ownership genuinely moved
+
+    def test_heartbeat_keeps_lease_live(self, tmp_path):
+        a = ResultStore(tmp_path, lease_ttl=0.4)
+        b = ResultStore(tmp_path, lease_ttl=0.4)
+        assert a.claim(self.KEY)
+        for _ in range(3):
+            time.sleep(0.2)
+            a.heartbeat(self.KEY)
+        assert not b.claim(self.KEY)  # never went stale
+
+    def test_hold_context_manager(self, tmp_path):
+        a = ResultStore(tmp_path)
+        b = ResultStore(tmp_path)
+        with a.hold(self.KEY):
+            with pytest.raises(LeaseHeld):
+                with b.hold(self.KEY):
+                    pass
+        assert b.claim(self.KEY)  # released on exit
+
+    def test_lease_files_invisible_to_records(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.claim(self.KEY)
+        assert len(store) == 0
+        assert list(store.records()) == []
+        store.put(self.KEY, {"tag": 1})
+        assert len(store) == 1
+        assert store.clear() == 1
+        assert not list(store.directory.glob("*.lease"))  # swept by clear
+
+
+def _run_one_evaluator(root, points, plan_json, state_dir, queue):
+    os.environ["REPRO_FAULTS"] = plan_json
+    os.environ["REPRO_FAULTS_DIR"] = state_dir
+    store = ResultStore(root)
+    evaluator = Evaluator(kernel="qrca", width=8, store=store)
+    evaluations = evaluator.evaluate(points)
+    queue.put(
+        {
+            "sims": evaluator.simulations_run,
+            "hits": evaluator.cache_hits,
+            "all_ok": all(e.ok for e in evaluations),
+            "makespans": [e.result.makespan_us for e in evaluations],
+        }
+    )
+
+
+class TestConcurrentEvaluators:
+    def test_two_evaluators_never_double_simulate(
+        self, tmp_path, points, reference
+    ):
+        """Two evaluator processes race over one store: the leases split
+        the points between them, contested points are awaited, and each
+        unique point is simulated exactly once globally."""
+        # Slow every evaluation slightly so the two runs genuinely
+        # overlap instead of one finishing before the other starts.
+        state = tmp_path / "fault-state"
+        state.mkdir()
+        plan = FaultPlan(
+            [FaultRule(mode="hang", stage="evaluate", times=None,
+                       seconds=0.2)],
+            state_dir=str(state),
+        )
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.Queue()
+        procs = [
+            ctx.Process(
+                target=_run_one_evaluator,
+                args=(str(tmp_path / "cache"), points, plan.to_json(),
+                      str(state), queue),
+            )
+            for _ in range(2)
+        ]
+        for proc in procs:
+            proc.start()
+        results = [queue.get(timeout=120) for _ in procs]
+        for proc in procs:
+            proc.join(timeout=30)
+        assert all(r["all_ok"] for r in results)
+        # The acceptance property: exactly one simulation per point.
+        assert sum(r["sims"] for r in results) == len(points)
+        # Every evaluator resolved every point (own sims + peer's results).
+        for r in results:
+            assert r["sims"] + r["hits"] == len(points)
+            assert r["makespans"] == [e.result.makespan_us for e in reference]
+
+    def test_dead_evaluator_lease_reclaimed_by_peer(self, tmp_path, points):
+        """An evaluator that claimed a point and died must not block the
+        point forever: the peer reclaims the stale lease and simulates."""
+        store_a = ResultStore(tmp_path, lease_ttl=0.3)
+        evaluator_a = Evaluator(kernel="qrca", width=8, store=store_a)
+        key = evaluator_a._store_key(
+            evaluator_a.canonicalize(points[0])
+        )
+        assert store_a.claim(key)  # a "dies" here: lease never released
+        time.sleep(0.4)
+        store_b = ResultStore(tmp_path, lease_ttl=0.3)
+        evaluator_b = Evaluator(kernel="qrca", width=8, store=store_b)
+        got = evaluator_b.evaluate([points[0]])
+        assert got[0].ok
+        assert evaluator_b.simulations_run == 1

@@ -1,0 +1,132 @@
+"""Checkpoint/resume: the round journal replays completed work from the
+warm store instead of re-simulating it."""
+
+import json
+
+import pytest
+
+from repro.explore import (
+    AdcrObjective,
+    Evaluator,
+    GridStrategy,
+    LatencyObjective,
+    ResultStore,
+    architecture_space,
+    explore,
+)
+
+
+def _setup(tmp_path, qrca8):
+    space = architecture_space(qrca8)
+    store = ResultStore(tmp_path / "cache")
+    journal = store.journal_path()
+    return space, store, journal
+
+
+def _evaluator(store):
+    return Evaluator(kernel="qrca", width=8, store=store)
+
+
+class TestJournal:
+    def test_rounds_are_journaled(self, tmp_path, qrca8):
+        space, store, journal = _setup(tmp_path, qrca8)
+        result = explore(
+            space, AdcrObjective(), GridStrategy(space),
+            evaluator=_evaluator(store), budget=4, journal=journal,
+        )
+        assert result.evaluated == 4
+        entries = [
+            json.loads(line) for line in journal.read_text().splitlines()
+        ]
+        assert entries[0]["type"] == "header"
+        rounds = [e for e in entries if e["type"] == "round"]
+        assert sum(len(r["points"]) for r in rounds) == 4
+
+    def test_resume_skips_completed_rounds(self, tmp_path, qrca8):
+        """An interrupted exploration resumes: journaled rounds replay
+        from the warm store (zero new simulations) and the search
+        continues into fresh territory."""
+        space, store, journal = _setup(tmp_path, qrca8)
+        first = explore(
+            space, AdcrObjective(), GridStrategy(space),
+            evaluator=_evaluator(store), budget=4, journal=journal,
+        )
+        assert first.simulations_run == 4
+
+        resumed_evaluator = _evaluator(store)
+        resumed = explore(
+            space, AdcrObjective(), GridStrategy(space),
+            evaluator=resumed_evaluator, budget=8,
+            journal=journal, resume=True,
+        )
+        assert resumed.evaluated == 8
+        # The replayed prefix cost zero simulations...
+        assert resumed.cache_hits == 4
+        # ...and only the new half of the budget touched the simulator.
+        assert resumed.simulations_run == 4
+        # Replay + continuation visits the same prefix as one cold run.
+        cold = explore(
+            space, AdcrObjective(), GridStrategy(space),
+            evaluator=Evaluator(kernel="qrca", width=8), budget=8,
+        )
+        assert [e.point for e in resumed.evaluations] == [
+            e.point for e in cold.evaluations
+        ]
+        assert resumed.scores == cold.scores
+
+    def test_resume_after_simulated_crash_mid_round(self, tmp_path, qrca8):
+        """A journal whose tail was torn by a crash mid-append still
+        replays its intact prefix."""
+        space, store, journal = _setup(tmp_path, qrca8)
+        explore(
+            space, AdcrObjective(), GridStrategy(space),
+            evaluator=_evaluator(store), budget=4, journal=journal,
+        )
+        with open(journal, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "round", "points": [{"arch": "q')  # torn
+        resumed = explore(
+            space, AdcrObjective(), GridStrategy(space),
+            evaluator=_evaluator(store), budget=6,
+            journal=journal, resume=True,
+        )
+        assert resumed.evaluated == 6
+        assert resumed.cache_hits >= 4
+
+    def test_resume_refuses_foreign_journal(self, tmp_path, qrca8):
+        space, store, journal = _setup(tmp_path, qrca8)
+        explore(
+            space, AdcrObjective(), GridStrategy(space),
+            evaluator=_evaluator(store), budget=2, journal=journal,
+        )
+        with pytest.raises(ValueError, match="different exploration"):
+            explore(
+                space, LatencyObjective(), GridStrategy(space),
+                evaluator=_evaluator(store), budget=2,
+                journal=journal, resume=True,
+            )
+
+    def test_fresh_run_truncates_stale_journal(self, tmp_path, qrca8):
+        space, store, journal = _setup(tmp_path, qrca8)
+        explore(
+            space, AdcrObjective(), GridStrategy(space),
+            evaluator=_evaluator(store), budget=4, journal=journal,
+        )
+        explore(
+            space, AdcrObjective(), GridStrategy(space),
+            evaluator=_evaluator(store), budget=2, journal=journal,
+        )
+        entries = [
+            json.loads(line) for line in journal.read_text().splitlines()
+        ]
+        rounds = [e for e in entries if e["type"] == "round"]
+        assert sum(len(r["points"]) for r in rounds) == 2
+
+    def test_resume_without_journal_starts_clean(self, tmp_path, qrca8):
+        space, store, journal = _setup(tmp_path, qrca8)
+        result = explore(
+            space, AdcrObjective(), GridStrategy(space),
+            evaluator=_evaluator(store), budget=3,
+            journal=journal, resume=True,
+        )
+        assert result.evaluated == 3
+        assert result.simulations_run == 3
