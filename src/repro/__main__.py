@@ -65,6 +65,55 @@ def _cmd_run(ns: argparse.Namespace) -> int:
     return 0
 
 
+def _obs_enable() -> str:
+    """Turn span tracing on with a worker spool; returns the spool dir."""
+    import tempfile
+
+    from repro import obs
+
+    spool = tempfile.mkdtemp(prefix="repro-obs-")
+    obs.enable(spool_dir=spool)
+    return spool
+
+
+def _obs_export(
+    trace_path: Optional[str], metrics_path: Optional[str], spool_dir: str
+) -> None:
+    """Merge worker spans, write requested trace/metrics files, tear down.
+
+    ``metrics_path`` gets Prometheus text, or a JSON snapshot when it
+    ends in ``.json``. Always disables tracing and removes the spool.
+    """
+    import json
+    import shutil
+    from pathlib import Path
+
+    from repro import obs
+    from repro.obs import metrics as obs_metrics
+
+    tracer = obs.tracer()
+    if tracer is not None:
+        merged = tracer.merge_spool()
+        if trace_path:
+            tracer.export_chrome(trace_path)
+            print(
+                f"trace: {trace_path} ({len(tracer.events())} spans, "
+                f"{merged} from workers)"
+            )
+    if metrics_path:
+        if metrics_path.endswith(".json"):
+            payload = (
+                json.dumps(obs_metrics.snapshot(), indent=1, sort_keys=True)
+                + "\n"
+            )
+        else:
+            payload = obs_metrics.prometheus()
+        Path(metrics_path).write_text(payload, encoding="utf-8")
+        print(f"metrics: {metrics_path}")
+    obs.disable()
+    shutil.rmtree(spool_dir, ignore_errors=True)
+
+
 def _cmd_explore(ns: argparse.Namespace) -> int:
     from repro.explore import (
         Evaluator,
@@ -86,55 +135,107 @@ def _cmd_explore(ns: argparse.Namespace) -> int:
         print("error: a kernel to explore is required (e.g. qcla-32)",
               file=sys.stderr)
         return 2
+    # Tracing goes on before the kernel is analyzed and before the
+    # Evaluator exists: compile/analyze spans land in the trace, and
+    # worker pools inherit the spool via the environment.
+    spool = _obs_enable() if (ns.trace or ns.metrics) else None
+    evaluator = None
     try:
-        kernel, width = _parse_kernel(ns.kernel)
-        from repro.kernels import analyze_kernel
+        try:
+            kernel, width = _parse_kernel(ns.kernel)
+            from repro.kernels import analyze_kernel
 
-        analysis = analyze_kernel(kernel, width)
-        space = architecture_space(analysis, code_levels=ns.code_level)
-        objective = get_objective(
-            ns.objective,
-            max_total_area=ns.max_area,
-            max_makespan_ms=ns.max_latency_ms,
-            max_pi8_error_rate=ns.max_pi8_error,
-            tech=analysis.tech,
-            mc_trials=ns.mc_trials,
+            analysis = analyze_kernel(kernel, width)
+            space = architecture_space(analysis, code_levels=ns.code_level)
+            objective = get_objective(
+                ns.objective,
+                max_total_area=ns.max_area,
+                max_makespan_ms=ns.max_latency_ms,
+                max_pi8_error_rate=ns.max_pi8_error,
+                tech=analysis.tech,
+                mc_trials=ns.mc_trials,
+                store=store,
+            )
+            strategy = get_strategy(ns.strategy, space, seed=ns.seed)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        evaluator = Evaluator(
+            kernel=kernel,
+            width=width,
+            engine=ns.engine,
+            workers=ns.workers,
             store=store,
+            retries=ns.retries,
+            timeout=ns.timeout,
         )
-        strategy = get_strategy(ns.strategy, space, seed=ns.seed)
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    evaluator = Evaluator(
-        kernel=kernel,
-        width=width,
-        engine=ns.engine,
-        workers=ns.workers,
-        store=store,
-        retries=ns.retries,
-        timeout=ns.timeout,
-    )
-    budget = ns.budget if ns.budget is not None else space.grid_size()
-    journal = store.journal_path() if store is not None else None
-    if ns.resume and journal is None:
-        print("error: --resume needs the result store (drop --no-cache)",
-              file=sys.stderr)
-        return 2
+        budget = ns.budget if ns.budget is not None else space.grid_size()
+        journal = store.journal_path() if store is not None else None
+        if ns.resume and journal is None:
+            print("error: --resume needs the result store (drop --no-cache)",
+                  file=sys.stderr)
+            return 2
+        try:
+            result = explore(
+                space, objective, strategy, evaluator=evaluator,
+                budget=budget, journal=journal, resume=ns.resume,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(format_exploration(result))
+        return 0
+    finally:
+        # Stats (and any requested trace/metrics) are reported even when
+        # the exploration fails or quarantines points — the failure path
+        # is exactly when the counters matter most.
+        if evaluator is not None:
+            stats = evaluator.stats()
+            print(
+                "evaluator: "
+                + ", ".join(f"{name}={value}" for name, value in stats.items())
+            )
+        if spool is not None:
+            _obs_export(ns.trace, ns.metrics, spool)
+
+
+def _cmd_profile(ns: argparse.Namespace) -> int:
+    import shutil
+    import time
+
+    from repro import obs
+    from repro.obs.report import format_phase_table
+
+    spool = _obs_enable()
+    t0 = time.perf_counter()
     try:
-        result = explore(
-            space, objective, strategy, evaluator=evaluator, budget=budget,
-            journal=journal, resume=ns.resume,
+        output = run_experiment(
+            ns.experiment, workers=ns.workers, engine=ns.engine
         )
+        wall = time.perf_counter() - t0
+        tracer = obs.tracer()
+        tracer.merge_spool()
+        events = tracer.events()
+        if ns.show_output:
+            print(output)
+            print()
+        print(
+            format_phase_table(
+                events,
+                title=f"{ns.experiment}: per-phase breakdown",
+                wall_s=wall,
+            )
+        )
+        if ns.trace:
+            tracer.export_chrome(ns.trace)
+            print(f"trace: {ns.trace} ({len(events)} spans)")
+        return 0
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(format_exploration(result))
-    stats = evaluator.stats()
-    print(
-        "evaluator: "
-        + ", ".join(f"{name}={value}" for name, value in stats.items())
-    )
-    return 0
+    finally:
+        obs.disable()
+        shutil.rmtree(spool, ignore_errors=True)
 
 
 def _cmd_cache(ns: argparse.Namespace) -> int:
@@ -312,8 +413,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--clear-cache", action="store_true",
         help="wipe the result store first (alone: wipe and exit)",
     )
+    p_explore.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help=(
+            "write a Chrome/Perfetto trace of the exploration to FILE "
+            "(parent and worker-process spans merged on one timeline)"
+        ),
+    )
+    p_explore.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help=(
+            "write a metrics snapshot to FILE: Prometheus text format, "
+            "or a JSON snapshot when FILE ends in .json"
+        ),
+    )
     _add_sweep_options(p_explore)
     p_explore.set_defaults(func=_cmd_explore, engine="compiled")
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="run one experiment with tracing on and print where time went",
+        description=(
+            "Run an experiment with span tracing enabled and print a "
+            "per-phase time breakdown (compile, ready-vector builds, "
+            "level walks, Monte Carlo frames, ...). Use --trace to also "
+            "keep the full Chrome/Perfetto timeline."
+        ),
+    )
+    p_profile.add_argument(
+        "experiment", metavar="experiment",
+        help=f"one of: {', '.join(sorted(EXPERIMENTS))}",
+    )
+    p_profile.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="also write the Chrome/Perfetto trace to FILE",
+    )
+    p_profile.add_argument(
+        "--show-output", action="store_true",
+        help="print the experiment's own output above the breakdown",
+    )
+    _add_sweep_options(p_profile)
+    p_profile.set_defaults(func=_cmd_profile, engine="compiled")
 
     p_cache = sub.add_parser(
         "cache",

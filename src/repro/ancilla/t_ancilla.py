@@ -225,6 +225,8 @@ def evaluate_pi8_ancilla_batched(
     )
     from repro.error.montecarlo import MonteCarloResult
 
+    from repro.obs.trace import span as _span
+
     if trials <= 0:
         raise ValueError(f"trials must be positive, got {trials}")
     encoder = steane_zero_prep_circuit(include_prep=True)
@@ -233,22 +235,23 @@ def evaluate_pi8_ancilla_batched(
     block = list(range(7))
     total = MonteCarloResult()
     remaining = trials
-    while remaining > 0:
-        batch = min(remaining, 200_000)
-        frames = BatchFrames(batch, 14)
-        active = np.ones(batch, dtype=bool)
-        for circuit in (encoder, pipeline):
-            sim.run_circuit(
-                circuit,
-                frames,
-                active=active,
-                moves_per_qubit_per_gate=MOVES_PER_QUBIT_PER_GATE,
+    with _span("ancilla.pi8_batched", trials=trials):
+        while remaining > 0:
+            batch = min(remaining, 200_000)
+            frames = BatchFrames(batch, 14)
+            active = np.ones(batch, dtype=bool)
+            for circuit in (encoder, pipeline):
+                sim.run_circuit(
+                    circuit,
+                    frames,
+                    active=active,
+                    moves_per_qubit_per_gate=MOVES_PER_QUBIT_PER_GATE,
+                )
+            bad = steane_grade_bad(frames, block)
+            total = total.merge(
+                MonteCarloResult(
+                    trials=batch, good=int((~bad).sum()), bad=int(bad.sum())
+                )
             )
-        bad = steane_grade_bad(frames, block)
-        total = total.merge(
-            MonteCarloResult(
-                trials=batch, good=int((~bad).sum()), bad=int(bad.sum())
-            )
-        )
-        remaining -= batch
+            remaining -= batch
     return total

@@ -79,6 +79,7 @@ from repro.circuits.compiled import (
     dataflow_metadata,
 )
 from repro.circuits.latency import LogicalLatencyModel
+from repro.obs.trace import span as _span
 from repro.tech import ION_TRAP, TechnologyParams
 
 __all__ = [
@@ -254,15 +255,17 @@ def steady_ready_matrix(
         with np.errstate(divide="ignore"):
             return needed / rates[None, :]
 
-    ready = None
-    if zero_rates is not None:
-        ready = per_kind(zero_rates, zero_consumed, ba.zero_seq)
-    if pi8_rates is not None and cc.pi8_count:
-        pi8_ready = per_kind(pi8_rates, pi8_consumed, ba.pi8_seq)
-        if ready is None:
-            ready = np.zeros((cc.num_gates, points))
-        index = cc.pi8_indices
-        ready[index] = np.maximum(ready[index], pi8_ready)
+    with _span("batched.ready_matrix", kind="steady", points=points,
+               gates=cc.num_gates):
+        ready = None
+        if zero_rates is not None:
+            ready = per_kind(zero_rates, zero_consumed, ba.zero_seq)
+        if pi8_rates is not None and cc.pi8_count:
+            pi8_ready = per_kind(pi8_rates, pi8_consumed, ba.pi8_seq)
+            if ready is None:
+                ready = np.zeros((cc.num_gates, points))
+            index = cc.pi8_indices
+            ready[index] = np.maximum(ready[index], pi8_ready)
     if ready is None:
         return None
     return ready if gate_major else ready.T
@@ -304,17 +307,21 @@ def dedicated_ready_matrix(
         with np.errstate(divide="ignore"):
             return needed / rates_t[home]
 
-    ready = None
-    if zero_rates is not None:
-        ready = per_kind(zero_rates, zero_consumed, ba.home, ba.home_zero_rank)
-    if pi8_rates is not None and cc.pi8_count:
-        pi8_ready = per_kind(
-            pi8_rates, pi8_consumed, ba.pi8_home, ba.home_pi8_rank
-        )
-        if ready is None:
-            ready = np.zeros((cc.num_gates, points))
-        index = cc.pi8_indices
-        ready[index] = np.maximum(ready[index], pi8_ready)
+    with _span("batched.ready_matrix", kind="dedicated", points=points,
+               gates=cc.num_gates):
+        ready = None
+        if zero_rates is not None:
+            ready = per_kind(
+                zero_rates, zero_consumed, ba.home, ba.home_zero_rank
+            )
+        if pi8_rates is not None and cc.pi8_count:
+            pi8_ready = per_kind(
+                pi8_rates, pi8_consumed, ba.pi8_home, ba.home_pi8_rank
+            )
+            if ready is None:
+                ready = np.zeros((cc.num_gates, points))
+            index = cc.pi8_indices
+            ready[index] = np.maximum(ready[index], pi8_ready)
     if ready is None:
         return None
     return ready if gate_major else ready.T
@@ -343,6 +350,12 @@ def _run_levels(
     """
     nq, nb = cc.num_qubits, cc.num_bits
     ba = _batch_arrays(cc)
+    with _span("batched.level_sweep", points=points, levels=len(ba.levels),
+               gates=cc.num_gates):
+        return _run_levels_body(ba, nq, nb, points, movement, ready, qec)
+
+
+def _run_levels_body(ba, nq, nb, points, movement, ready, qec):
     qubit_free = np.zeros((nq + 1, points))
     bits = np.zeros((nb + 1, points))
     for level in ba.levels:
@@ -421,6 +434,23 @@ def simulate_batch(
     when ``cqla`` is given, falls back to a per-point serial simulator
     transparently.
     """
+    with _span("batched.simulate_batch", points=len(supplies)) as sp:
+        return _simulate_batch(
+            circuit, supplies, tech, movement_penalty_us,
+            two_qubit_movement_penalty_us, cqla, compiled, sp,
+        )
+
+
+def _simulate_batch(
+    circuit: Circuit,
+    supplies: Sequence[AncillaSupply],
+    tech: TechnologyParams,
+    movement_penalty_us: float,
+    two_qubit_movement_penalty_us: Optional[float],
+    cqla: Optional[CqlaConfig],
+    compiled: Optional[CompiledCircuit],
+    sp,
+) -> List[SimulationResult]:
 
     def fallback(supply: AncillaSupply) -> SimulationResult:
         return DataflowSimulator(
@@ -498,6 +528,14 @@ def simulate_batch(
                 dedicated_groups.setdefault(signature, []).append(i)
         else:
             out[i] = fallback(supply)
+    # Per-group point counts on the batch span: how much of the sweep
+    # took the vectorized path vs the per-point fallback.
+    sp.set(
+        unconstrained=len(unconstrained),
+        steady=sum(len(v) for v in steady_groups.values()),
+        dedicated=sum(len(v) for v in dedicated_groups.values()),
+        fallback=sum(1 for r in out if r is not None),
+    )
 
     # An aliased supply object at several constrained points cannot be
     # batched faithfully: serial per-point runs would thread its consumed

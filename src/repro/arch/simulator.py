@@ -41,9 +41,11 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from heapq import heapify, heapreplace
 from itertools import repeat
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.obs.trace import span as _span
 
 from repro.arch.architectures import (
     ArchitectureKind,
@@ -242,50 +244,57 @@ class DataflowSimulator:
         several times faster: no per-gate object allocation, inlined
         dependency updates, and closed-form steady-rate supply queries.
         """
-        cc = self.compiled
-        n = cc.num_gates
-        if n == 0:
-            return SimulationResult(0.0, 0, 0, 0, 0, 0)
-        supply = self.supply
-        qec = self._logical.qec_interaction_latency()
-        move_1q = self.move_1q
-        move_2q = self.move_2q
-        teleports = movement_teleports(cc, move_1q, move_2q, self.tech)
-        movement = None
-        if move_1q or move_2q:
-            table = (0.0, move_1q, move_2q)
-            movement = [table[k] for k in cc.move_kind]
-        acquire_impl = supply_acquire_impl(supply)
-        supply_ready: Optional[np.ndarray] = None
-        steady: Optional[SteadyRateSupply] = None
-        dedicated: Optional[DedicatedSupply] = None
-        generic = None
-        if acquire_impl is InfiniteSupply.acquire:
-            pass
-        elif acquire_impl is SteadyRateSupply.acquire:
-            steady = supply
-            supply_ready = _steady_ready_times(cc, steady)
-        elif acquire_impl is DedicatedSupply.acquire and self.cqla is None:
-            dedicated = supply
-        else:
-            generic = supply.acquire
-        if self.cqla is not None:
-            makespan, misses, cache_teleports = _run_cache(
-                cc, self.cqla, self.tech, movement, supply_ready, generic, qec
-            )
-            teleports += cache_teleports
-        elif dedicated is not None:
-            makespan = _run_dedicated(cc, movement, dedicated, qec)
-            misses = 0
-        elif generic is not None:
-            makespan = _run_generic(cc, movement, generic, qec)
-            misses = 0
-        else:
-            makespan = _run_flat(cc, movement, supply_ready, qec)
-            misses = 0
+        with _span("simulate.setup"):
+            cc = self.compiled
+            n = cc.num_gates
+            if n == 0:
+                return SimulationResult(0.0, 0, 0, 0, 0, 0)
+            supply = self.supply
+            qec = self._logical.qec_interaction_latency()
+            move_1q = self.move_1q
+            move_2q = self.move_2q
+            teleports = movement_teleports(cc, move_1q, move_2q, self.tech)
+            movement = None
+            if move_1q or move_2q:
+                table = (0.0, move_1q, move_2q)
+                movement = [table[k] for k in cc.move_kind]
+            acquire_impl = supply_acquire_impl(supply)
+            supply_ready: Optional[List[float]] = None
+            steady: Optional[SteadyRateSupply] = None
+            dedicated: Optional[DedicatedSupply] = None
+            generic = None
+            if acquire_impl is InfiniteSupply.acquire:
+                pass
+            elif acquire_impl is SteadyRateSupply.acquire:
+                steady = supply
+                # The list companion of the memoized ready vector: the
+                # serial loops iterate it element by element, and plain
+                # floats are ~2x faster there than np.float64 scalars.
+                supply_ready = _steady_ready_entry(cc, steady)[1]
+            elif acquire_impl is DedicatedSupply.acquire and self.cqla is None:
+                dedicated = supply
+            else:
+                generic = supply.acquire
+        with _span("simulate.level_walk", gates=n):
+            if self.cqla is not None:
+                makespan, misses, cache_teleports = _run_cache(
+                    cc, self.cqla, self.tech, movement, supply_ready, generic,
+                    qec
+                )
+                teleports += cache_teleports
+            elif dedicated is not None:
+                makespan = _run_dedicated(cc, movement, dedicated, qec)
+                misses = 0
+            elif generic is not None:
+                makespan = _run_generic(cc, movement, generic, qec)
+                misses = 0
+            else:
+                makespan = _run_flat(cc, movement, supply_ready, qec)
+                misses = 0
         if steady is not None:
-            steady.advance(ZERO, ZEROS_PER_QEC * n)
-            steady.advance(PI8, cc.pi8_count)
+            with _span("simulate.supply_advance"):
+                steady.advance(ZERO, ZEROS_PER_QEC * n)
+                steady.advance(PI8, cc.pi8_count)
         return SimulationResult(
             makespan_us=float(makespan),
             gates=n,
@@ -378,32 +387,39 @@ class DataflowSimulator:
 
 
 #: Memoized steady-supply ready vectors: per compiled circuit (weak), a
-#: small LRU of rates-fingerprint -> read-only ndarray. Sweeps construct
-#: a fresh supply per design point, so within one sweep each fingerprint
-#: is computed once; across repeated evaluations of the same point the
-#: whole vector is reused. Bounded so pathological rate churn cannot
-#: accumulate unbounded float matrices.
+#: small LRU of rates-fingerprint -> ``(read-only ndarray, list)``.
+#: Sweeps construct a fresh supply per design point, so within one sweep
+#: each fingerprint is computed once; across repeated evaluations of the
+#: same point the whole vector is reused. Bounded so pathological rate
+#: churn cannot accumulate unbounded float matrices.
+#:
+#: Both forms are cached because they serve different consumers: the
+#: point-batched engine stacks the ndarrays into ready matrices, while
+#: the serial loops here iterate element by element — and iterating an
+#: ndarray yields np.float64 scalars whose compare/add boxing is ~2x
+#: slower than plain floats (the PR 4/5 single-point throughput
+#: regression). ``.tolist()`` preserves every float bit, so both
+#: consumers stay bit-identical to the reference loop.
 _READY_CACHE: "weakref.WeakKeyDictionary[CompiledCircuit, OrderedDict]" = (
     weakref.WeakKeyDictionary()
 )
 _READY_CACHE_MAX = 128
 
+_ReadyEntry = Tuple[Optional[np.ndarray], Optional[List[float]]]
 
-def _steady_ready_times(
+
+def _steady_ready_entry(
     cc: CompiledCircuit, supply: SteadyRateSupply
-) -> Optional[np.ndarray]:
-    """Per-gate ancilla-ready lower bounds for a steady-rate supply.
+) -> _ReadyEntry:
+    """Memoized ``(ndarray, list)`` ready-vector pair for this supply.
 
     Consumption order under the reference loop is program order (two
     zeros per gate, one pi/8 per T-type gate), so the time the i-th
     gate's ancillae exist is a pure function of i — computed here for
     the whole circuit in one vectorized pass. A zero-rate kind yields
     infinity (matching ``_RateCounter.acquire``); an untracked kind
-    contributes no constraint.
-
-    Returns a read-only float64 ndarray (consumed by the hot loops as-is
-    — no list conversion) memoized per ``(circuit, rates-fingerprint)``,
-    or None when the supply never constrains this circuit.
+    contributes no constraint. Returns ``(None, None)`` when the supply
+    never constrains this circuit.
     """
     n = cc.num_gates
     fingerprint = (
@@ -419,48 +435,66 @@ def _steady_ready_times(
     elif fingerprint in per_cc:
         per_cc.move_to_end(fingerprint)
         return per_cc[fingerprint]
-    ready = None
-    zero_rate = supply.rate_per_us(ZERO)
-    if zero_rate is not None:
-        if zero_rate == 0.0:
-            ready = np.full(n, np.inf)
+    with _span("simulate.ready_vector", gates=n):
+        ready = None
+        zero_rate = supply.rate_per_us(ZERO)
+        if zero_rate is not None:
+            if zero_rate == 0.0:
+                ready = np.full(n, np.inf)
+            else:
+                consumed = supply.consumed_so_far(ZERO) + (
+                    ZEROS_PER_QEC * np.arange(1, n + 1, dtype=np.float64)
+                )
+                ready = consumed / zero_rate
+        pi8_rate = supply.rate_per_us(PI8)
+        if pi8_rate is not None and cc.pi8_count:
+            if pi8_rate == 0.0:
+                pi8_ready = np.full(cc.pi8_count, np.inf)
+            else:
+                consumed = supply.consumed_so_far(PI8) + np.arange(
+                    1, cc.pi8_count + 1, dtype=np.float64
+                )
+                pi8_ready = consumed / pi8_rate
+            if ready is None:
+                ready = np.zeros(n)
+            index = cc.pi8_indices
+            ready[index] = np.maximum(ready[index], pi8_ready)
+        if ready is not None:
+            ready.setflags(write=False)
+            entry = (ready, ready.tolist())
         else:
-            consumed = supply.consumed_so_far(ZERO) + ZEROS_PER_QEC * np.arange(
-                1, n + 1, dtype=np.float64
-            )
-            ready = consumed / zero_rate
-    pi8_rate = supply.rate_per_us(PI8)
-    if pi8_rate is not None and cc.pi8_count:
-        if pi8_rate == 0.0:
-            pi8_ready = np.full(cc.pi8_count, np.inf)
-        else:
-            consumed = supply.consumed_so_far(PI8) + np.arange(
-                1, cc.pi8_count + 1, dtype=np.float64
-            )
-            pi8_ready = consumed / pi8_rate
-        if ready is None:
-            ready = np.zeros(n)
-        index = cc.pi8_indices
-        ready[index] = np.maximum(ready[index], pi8_ready)
-    if ready is not None:
-        ready.setflags(write=False)
-    per_cc[fingerprint] = ready
+            entry = (None, None)
+    per_cc[fingerprint] = entry
     if len(per_cc) > _READY_CACHE_MAX:
         per_cc.popitem(last=False)
-    return ready
+    return entry
+
+
+def _steady_ready_times(
+    cc: CompiledCircuit, supply: SteadyRateSupply
+) -> Optional[np.ndarray]:
+    """Per-gate ancilla-ready lower bounds for a steady-rate supply.
+
+    The ndarray half of :func:`_steady_ready_entry` — the form the
+    point-batched engine stacks into ready matrices. Memoized: the same
+    ``(circuit, rates-fingerprint)`` returns the identical read-only
+    array. ``None`` when the supply never constrains this circuit.
+    """
+    return _steady_ready_entry(cc, supply)[0]
 
 
 def _run_flat(
     cc: CompiledCircuit,
     movement: Optional[List[float]],
-    supply_ready: Optional[np.ndarray],
+    supply_ready: Optional[Sequence[float]],
     qec: float,
 ) -> float:
     """Hot loop for infinite / steady-rate supplies without a cache.
 
-    ``supply_ready`` is iterated directly (ndarray elements compare and
-    add like floats, IEEE-identically), so the precomputed ready vector
-    flows from :func:`_steady_ready_times` to here with no conversion.
+    ``supply_ready`` must be a list of plain floats (the list half of
+    :func:`_steady_ready_entry`): iterating an ndarray here yields
+    np.float64 scalars whose per-element boxing roughly halves
+    throughput, while ``.tolist()`` floats are bit-identical.
     """
     qubit_free = [0.0] * cc.num_qubits
     bits = [0.0] * cc.num_bits
@@ -618,15 +652,16 @@ def _run_cache(
     cqla: CqlaConfig,
     tech: TechnologyParams,
     movement: Optional[List[float]],
-    supply_ready: Optional[np.ndarray],
+    supply_ready: Optional[Sequence[float]],
     acquire,
     qec: float,
 ):
     """Hot loop with CQLA compute-cache modeling.
 
     Returns ``(makespan, cache_misses, teleports)``. Supply constraints
-    come either from a precomputed steady-rate ready list or from
-    per-gate ``acquire`` calls (``acquire`` may be None for infinite).
+    come either from a precomputed steady-rate ready list (plain floats,
+    as in :func:`_run_flat`) or from per-gate ``acquire`` calls
+    (``acquire`` may be None for infinite).
     """
     qubit_free = [0.0] * cc.num_qubits
     bits = [0.0] * cc.num_bits

@@ -35,6 +35,7 @@ import numpy as np
 from repro.circuits.circuit import Circuit
 from repro.circuits.gate import PI8_CONSUMING_GATES, GateType
 from repro.circuits.latency import LogicalLatencyModel
+from repro.obs.trace import span as _span
 from repro.tech import TechnologyParams
 
 #: Gate-type interning table: enum-definition order. Consumed by the
@@ -117,6 +118,11 @@ class CompiledCircuit:
 
 
 def _compile(circuit: Circuit, tech: TechnologyParams) -> CompiledCircuit:
+    with _span("compile.lower", gates=len(circuit), tech=tech.name):
+        return _compile_body(circuit, tech)
+
+
+def _compile_body(circuit: Circuit, tech: TechnologyParams) -> CompiledCircuit:
     logical = LogicalLatencyModel(tech)
     q0: List[int] = []
     q1: List[int] = []
@@ -282,7 +288,8 @@ def dataflow_metadata(compiled: CompiledCircuit) -> CompiledDataflow:
     """
     df = _DATAFLOW_CACHE.get(compiled)
     if df is None:
-        df = _build_dataflow(compiled)
+        with _span("compile.dataflow_metadata", gates=compiled.num_gates):
+            df = _build_dataflow(compiled)
         _DATAFLOW_CACHE[compiled] = df
     return df
 

@@ -41,6 +41,7 @@ import numpy as np
 from repro.circuits.circuit import Circuit
 from repro.circuits.gate import GateType
 from repro.codes.steane import HAMMING_PARITY_CHECK
+from repro.obs.trace import span as _span
 from repro.tech import ErrorRates
 
 # ----------------------------------------------------------------------
@@ -199,7 +200,8 @@ def compile_protocol(
         _CACHE[circuit] = per_circuit
     program = per_circuit.get(key)
     if program is None:
-        program = _lower(circuit, qm)
+        with _span("protocol.compile", gates=len(circuit)):
+            program = _lower(circuit, qm)
         per_circuit[key] = program
     return program
 
@@ -315,6 +317,21 @@ class BatchedSimulator:
                 f"program addresses {program.num_qubits} qubits, frames "
                 f"have {frames.x.shape[1]}"
             )
+        with _span("protocol.frames", trials=frames.x.shape[0],
+                   gates=program.num_gates):
+            return self._run_program_body(
+                program, frames, active, measure_flips,
+                moves_per_qubit_per_gate,
+            )
+
+    def _run_program_body(
+        self,
+        program: CompiledProtocol,
+        frames: BatchFrames,
+        active: np.ndarray,
+        measure_flips: Optional[Dict[str, np.ndarray]],
+        moves_per_qubit_per_gate: float,
+    ) -> Dict[str, np.ndarray]:
         flips = measure_flips if measure_flips is not None else {}
         moves = int(round(moves_per_qubit_per_gate))
         n = frames.x.shape[0]

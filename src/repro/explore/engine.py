@@ -278,15 +278,19 @@ def explore(
     replayed_points = 0
 
     def run_round(points: List[Dict], checkpoint: bool) -> None:
-        evaluations = evaluator.evaluate(points)
-        scored = [
-            (e, objective.score(e) if e.ok else math.inf) for e in evaluations
-        ]
-        result.evaluations.extend(e for e, _ in scored)
-        result.scores.extend(s for _, s in scored)
-        strategy.tell(scored)
-        if checkpoint and log is not None:
-            log.record_round([e.point_dict for e in evaluations])
+        from repro.obs.trace import span as _span
+
+        with _span("explore.round", points=len(points)):
+            evaluations = evaluator.evaluate(points)
+            scored = [
+                (e, objective.score(e) if e.ok else math.inf)
+                for e in evaluations
+            ]
+            result.evaluations.extend(e for e, _ in scored)
+            result.scores.extend(s for _, s in scored)
+            strategy.tell(scored)
+            if checkpoint and log is not None:
+                log.record_round([e.point_dict for e in evaluations])
 
     try:
         for points in replayed:

@@ -74,6 +74,8 @@ from repro.arch.supply import PI8, ZERO, SteadyRateSupply
 from repro.circuits.compiled import CompiledCircuit, compile_circuit
 from repro.explore.store import ResultStore, canonical_json
 from repro.layout.region import data_qubit_area
+from repro.obs import metrics as _metrics
+from repro.obs.trace import flush_worker, span as _span, worker_init_from_env
 from repro.tech import ION_TRAP, TechnologyParams
 from repro.testing import faults
 
@@ -416,6 +418,7 @@ _WORKER: Dict[str, object] = {}
 
 def _init_worker_summary(summary: KernelSummary, engine: str) -> None:
     """Pool initializer (analysis mode): one compilation per worker."""
+    worker_init_from_env()
     _WORKER.clear()
     _WORKER["mode"] = "summary"
     _WORKER["engine"] = engine
@@ -431,6 +434,7 @@ def _init_worker_spec(
     kernel: str, width: int, tech: TechnologyParams, engine: str
 ) -> None:
     """Pool initializer (spec mode): workers re-derive analyses lazily."""
+    worker_init_from_env()
     _WORKER.clear()
     _WORKER["mode"] = "spec"
     _WORKER["engine"] = engine
@@ -505,8 +509,18 @@ def _worker_context(point: Dict[str, object]):
 
 
 def _worker_evaluate_chunk(points: List[Dict[str, object]]) -> List[Evaluation]:
-    """One worker's shard of the points axis, batch-resolved in-process."""
-    return _evaluate_grouped(_worker_context, points, _WORKER["engine"])
+    """One worker's shard of the points axis, batch-resolved in-process.
+
+    Traced as ``evaluate.chunk``; when the parent armed a spool directory
+    (:data:`repro.obs.trace.SPOOL_ENV`), completed events are flushed to
+    this worker's spool file after every chunk so a crash loses at most
+    one chunk's spans.
+    """
+    try:
+        with _span("evaluate.chunk", points=len(points)):
+            return _evaluate_grouped(_worker_context, points, _WORKER["engine"])
+    finally:
+        flush_worker()
 
 
 # ----------------------------------------------------------------------
@@ -609,6 +623,11 @@ class Evaluator:
         self.retries = 0
         self.worker_crashes = 0
         self.quarantined = 0
+        # Pre-register the registry mirrors so a metrics snapshot always
+        # carries every evaluator counter, zero-valued ones included.
+        for name in ("simulations_run", "cache_hits", "dedup_hits",
+                     "retries", "worker_crashes", "quarantined"):
+            _metrics.counter(f"repro_{name}_total")
         self._summary: Optional[KernelSummary] = (
             KernelSummary.from_analysis(analysis) if analysis is not None else None
         )
@@ -715,6 +734,18 @@ class Evaluator:
 
     # ------------------------------------------------------------------
 
+    def _count(self, name: str, amount: int = 1) -> None:
+        """Bump a health counter and mirror it into the metrics registry.
+
+        The per-instance ints stay authoritative for :meth:`stats` (and
+        for tests asserting exact values on one evaluator); the global
+        ``repro_<name>_total`` counters aggregate across every evaluator
+        in the process for the Prometheus/JSON exports.
+        """
+        if amount:
+            setattr(self, name, getattr(self, name) + amount)
+            _metrics.counter(f"repro_{name}_total").inc(amount)
+
     def stats(self) -> Dict[str, int]:
         """Health counters accumulated over this evaluator's lifetime."""
         return {
@@ -740,13 +771,19 @@ class Evaluator:
         (``Evaluation.ok == False``) and are quarantined: later batches
         get the failure back without touching the simulator.
         """
+        with _span("evaluate.batch", points=len(points)) as sp:
+            return self._evaluate_batch(points, sp)
+
+    def _evaluate_batch(
+        self, points: Sequence[Dict[str, object]], sp
+    ) -> List[Evaluation]:
         canonical = [self.canonicalize(p) for p in points]
         keys = [canonical_json(c) for c in canonical]
         unique: Dict[str, Dict[str, object]] = {}
         for key, cpoint in zip(keys, canonical):
             if key not in unique:
                 unique[key] = cpoint
-        self.dedup_hits += len(keys) - len(unique)
+        self._count("dedup_hits", len(keys) - len(unique))
 
         resolved: Dict[str, Evaluation] = {}
         misses: List[Tuple[str, Dict[str, object]]] = []
@@ -761,7 +798,7 @@ class Evaluator:
                     hit = self._from_record(record, cpoint)
             if hit is not None:
                 resolved[key] = hit
-                self.cache_hits += 1
+                self._count("cache_hits")
             else:
                 misses.append((key, cpoint))
 
@@ -782,7 +819,7 @@ class Evaluator:
                 fresh = self._run(owned)
             finally:
                 self._active_leases = []
-            self.simulations_run += sum(1 for e in fresh if e.ok)
+            self._count("simulations_run", sum(1 for e in fresh if e.ok))
             for (key, cpoint), evaluation in zip(owned, fresh):
                 resolved[key] = evaluation
                 if evaluation.ok:
@@ -796,6 +833,11 @@ class Evaluator:
                     self.store.release(self._store_key(cpoint))
         for key, cpoint in contested:
             resolved[key] = self._await_contested(key, cpoint)
+        sp.set(
+            unique=len(unique),
+            misses=len(misses),
+            contested=len(contested),
+        )
         return [resolved[key] for key in keys]
 
     # ------------------------------------------------------------------
@@ -827,11 +869,11 @@ class Evaluator:
             except Exception as exc:
                 failures += 1
                 if failures > self._retries:
-                    self.quarantined += 1
+                    self._count("quarantined")
                     return Evaluation.failure(
                         cpoint, f"{type(exc).__name__}: {exc}"
                     )
-                self.retries += 1
+                self._count("retries")
                 self._sleep_backoff(failures)
 
     def _run_serial(self, tasks: List[Dict[str, object]]) -> List[Evaluation]:
@@ -841,7 +883,7 @@ class Evaluator:
         except Exception:
             # A poison point sank the batch: evaluate point by point so
             # only the offender is quarantined, not its batch-mates.
-            self.retries += 1
+            self._count("retries")
             return [self._evaluate_one_serial(cpoint) for cpoint in tasks]
 
     def _await_contested(self, key: str, cpoint: Dict[str, object]) -> Evaluation:
@@ -852,12 +894,18 @@ class Evaluator:
         died — we reclaim and simulate the point ourselves.
         """
         store_key = self._store_key(cpoint)
+        with _span("evaluate.lease_wait"):
+            return self._await_contested_loop(key, cpoint, store_key)
+
+    def _await_contested_loop(
+        self, key: str, cpoint: Dict[str, object], store_key: Dict[str, object]
+    ) -> Evaluation:
         while True:
             record = self.store.get(store_key)
             if record is not None:
                 hit = self._from_record(record, cpoint)
                 if hit is not None:
-                    self.cache_hits += 1
+                    self._count("cache_hits")
                     return hit
             if self.store.claim(store_key):
                 try:
@@ -867,11 +915,11 @@ class Evaluator:
                     if record is not None:
                         hit = self._from_record(record, cpoint)
                         if hit is not None:
-                            self.cache_hits += 1
+                            self._count("cache_hits")
                             return hit
                     evaluation = self._evaluate_one_serial(cpoint)
                     if evaluation.ok:
-                        self.simulations_run += 1
+                        self._count("simulations_run")
                         self.store.put(store_key, self._to_record(evaluation))
                     else:
                         self._quarantine[key] = evaluation.error
@@ -956,10 +1004,10 @@ class Evaluator:
             idx = indices[0]
             failures[idx] = failures.get(idx, 0) + 1
             if failures[idx] > self._retries:
-                self.quarantined += 1
+                self._count("quarantined")
                 out[idx] = Evaluation.failure(tasks[idx], label)
             else:
-                self.retries += 1
+                self._count("retries")
                 self._sleep_backoff(failures[idx])
                 queue.append(indices)
 
@@ -1003,7 +1051,7 @@ class Evaluator:
                         )
                     except Exception:
                         queue.appendleft(indices)
-                        self.worker_crashes += 1
+                        self._count("worker_crashes")
                         pool = rebuild(pool)
                         break
                     pending[future] = (indices, deadline)
@@ -1032,7 +1080,7 @@ class Evaluator:
                     ]
                     if not overdue:
                         continue
-                    self.worker_crashes += 1
+                    self._count("worker_crashes")
                     for future, (indices, _) in list(pending.items()):
                         if future in overdue:
                             fail_chunk(
@@ -1054,7 +1102,7 @@ class Evaluator:
                     try:
                         evaluations = future.result()
                     except BrokenProcessPool:
-                        self.worker_crashes += 1
+                        self._count("worker_crashes")
                         fail_chunk(indices, "worker crashed (pool broken)")
                         # Every other in-flight future is toast too;
                         # requeue their chunks intact (no failure charged).

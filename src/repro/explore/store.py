@@ -65,9 +65,11 @@ import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.explore.errors import LeaseHeld, StoreDegradedWarning
+from repro.obs import metrics as _metrics
+from repro.obs.trace import enabled as _tracing
 from repro.testing import faults
 
 SCHEMA_VERSION = 1
@@ -157,8 +159,36 @@ class ResultStore:
     def _valid(record: object) -> bool:
         return isinstance(record, dict) and record.get("schema") == SCHEMA_VERSION
 
+    @staticmethod
+    def _observe(op: str, seconds: float) -> None:
+        """Record one store-operation latency (tracing-gated callers)."""
+        _metrics.REGISTRY.histogram(
+            "repro_store_op_seconds",
+            _metrics.LATENCY_SECONDS_EDGES,
+            help="result-store operation latency (seconds)",
+            op=op,
+        ).observe(seconds)
+
     def get(self, key: Dict) -> Optional[Dict]:
-        """The stored record for ``key``, or None (corrupt files miss)."""
+        """The stored record for ``key``, or None (corrupt files miss).
+
+        Always counts into ``repro_store_get_total{outcome=hit|miss}``;
+        with tracing enabled the latency also lands in
+        ``repro_store_op_seconds{op=get}``.
+        """
+        timed = _tracing()
+        t0 = time.perf_counter() if timed else 0.0
+        record = self._get(key)
+        if timed:
+            self._observe("get", time.perf_counter() - t0)
+        _metrics.counter(
+            "repro_store_get_total",
+            help="result-store reads by outcome",
+            outcome="hit" if record is not None else "miss",
+        ).inc()
+        return record
+
+    def _get(self, key: Dict) -> Optional[Dict]:
         path = self._path(key)
         try:
             faults.check("store_get", _fault_point(key))
@@ -178,7 +208,24 @@ class ResultStore:
         :class:`StoreDegradedWarning` is emitted and False returned, so
         a long exploration keeps its in-memory results instead of
         crashing on a full disk.
+
+        Always counts into ``repro_store_put_total{outcome=ok|degraded}``;
+        with tracing enabled the latency also lands in
+        ``repro_store_op_seconds{op=put}``.
         """
+        timed = _tracing()
+        t0 = time.perf_counter() if timed else 0.0
+        ok = self._put(key, record)
+        if timed:
+            self._observe("put", time.perf_counter() - t0)
+        _metrics.counter(
+            "repro_store_put_total",
+            help="result-store writes by outcome",
+            outcome="ok" if ok else "degraded",
+        ).inc()
+        return ok
+
+    def _put(self, key: Dict, record: Dict) -> bool:
         document = dict(record)
         document["schema"] = SCHEMA_VERSION
         document["key"] = key
@@ -276,7 +323,20 @@ class ResultStore:
         than ``lease_ttl``) is reclaimed; a live one held by someone
         else — or already by us — yields False/True respectively without
         touching the file.
+
+        Outcomes count into ``repro_lease_claims_total{outcome=...}`` with
+        ``claimed`` (fresh take), ``held`` (already ours), ``reclaimed``
+        (stale lease replaced), or ``contested`` (someone else's).
         """
+        outcome, owned = self._claim(key)
+        _metrics.counter(
+            "repro_lease_claims_total",
+            help="lease claim attempts by outcome",
+            outcome=outcome,
+        ).inc()
+        return owned
+
+    def _claim(self, key: Dict) -> Tuple[str, bool]:
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
         except OSError as exc:
@@ -285,15 +345,17 @@ class ResultStore:
                 StoreDegradedWarning,
                 stacklevel=2,
             )
-            return True  # fail open
+            return "degraded", True  # fail open
         path = self._lease_path(key)
         if self._write_lease(path, exclusive=True):
-            return True
+            return "claimed", True
         if self.lease_owner(path) == self.owner:
-            return True
+            return "held", True
         if self._lease_stale(path):
-            return self._write_lease(path, exclusive=False)
-        return False
+            if self._write_lease(path, exclusive=False):
+                return "reclaimed", True
+            return "contested", False
+        return "contested", False
 
     def release(self, key: Dict) -> None:
         """Drop our lease on ``key`` (a lease we don't own is left alone)."""

@@ -332,7 +332,10 @@ _BUILDERS: Dict[str, Callable[[int, TechnologyParams], KernelAnalysis]] = {
 def _analyze_cached(
     kernel: str, width: int, tech: TechnologyParams
 ) -> KernelAnalysis:
-    return _BUILDERS[kernel](width, tech)
+    from repro.obs.trace import span as _span
+
+    with _span("analyze.kernel", kernel=kernel, width=width, tech=tech.name):
+        return _BUILDERS[kernel](width, tech)
 
 
 def analyze_kernel(

@@ -1,0 +1,87 @@
+"""Per-phase time breakdown from recorded trace events.
+
+Turns a tracer's event list into the table ``repro profile`` prints:
+one row per span name with call count, total/mean/max time and the
+share of the profiled wall window. Works on live :class:`Tracer`
+events or on events re-read from a JSONL export.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["PhaseStat", "phase_breakdown", "format_phase_table"]
+
+
+class PhaseStat:
+    """Aggregated timing for one span name."""
+
+    __slots__ = ("name", "count", "total_s", "max_s")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+def phase_breakdown(events: Iterable[Dict]) -> List[PhaseStat]:
+    """Aggregate trace events into per-phase stats, biggest total first.
+
+    ``events`` are tracer events (dicts with ``name`` and ``dur`` in
+    microseconds); anything without a duration is skipped.
+    """
+    stats: Dict[str, PhaseStat] = {}
+    for event in events:
+        name = event.get("name")
+        dur = event.get("dur")
+        if not name or dur is None:
+            continue
+        seconds = dur / 1e6
+        stat = stats.get(name)
+        if stat is None:
+            stat = stats[name] = PhaseStat(name)
+        stat.count += 1
+        stat.total_s += seconds
+        if seconds > stat.max_s:
+            stat.max_s = seconds
+    return sorted(stats.values(), key=lambda s: -s.total_s)
+
+
+def format_phase_table(events: Iterable[Dict], title: str = "",
+                       wall_s: Optional[float] = None) -> str:
+    """Render the per-phase breakdown as an aligned table.
+
+    The ``%`` column is each phase's share of ``wall_s`` when given,
+    otherwise of the sum of all span time. Spans nest, so shares need
+    not sum to 100.
+    """
+    # Imported here, not at module top: repro.reporting pulls in the
+    # experiment modules, which import the instrumented engines, which
+    # import repro.obs — a top-level import would be circular.
+    from repro.reporting.tables import format_table
+
+    stats = phase_breakdown(events)
+    if not stats:
+        return "no spans recorded"
+    denom = wall_s if wall_s else sum(s.total_s for s in stats)
+    rows = [
+        [
+            s.name,
+            s.count,
+            f"{s.total_s * 1e3:.2f}",
+            f"{s.mean_s * 1e3:.3f}",
+            f"{s.max_s * 1e3:.3f}",
+            f"{100.0 * s.total_s / denom:.1f}" if denom else "-",
+        ]
+        for s in stats
+    ]
+    return format_table(
+        ["phase", "calls", "total ms", "mean ms", "max ms", "%"],
+        rows,
+        title=title,
+    )
