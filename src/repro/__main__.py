@@ -9,6 +9,9 @@ Usage::
                                           # the Monte Carlo and the sweeps)
     python -m repro explore qcla-32 --objective adcr --strategy adaptive \\
         --budget 30                       # ADCR-driven design-space search
+    python -m repro serve --port 8642     # evaluation service (terminal 1)
+    python -m repro explore qcla-32 --server http://127.0.0.1:8642
+                                          # served exploration (terminal 2)
 """
 
 from __future__ import annotations
@@ -114,6 +117,38 @@ def _obs_export(
     shutil.rmtree(spool_dir, ignore_errors=True)
 
 
+def _lease_knob_error(ns: argparse.Namespace) -> Optional[str]:
+    """Validate the --lease-ttl / --heartbeat-interval pair."""
+    if ns.lease_ttl is not None and ns.lease_ttl <= 0:
+        return f"--lease-ttl must be positive, got {ns.lease_ttl}"
+    if ns.heartbeat_interval is not None:
+        if ns.heartbeat_interval <= 0:
+            return (
+                f"--heartbeat-interval must be positive, "
+                f"got {ns.heartbeat_interval}"
+            )
+        from repro.explore.store import DEFAULT_LEASE_TTL
+
+        ttl = ns.lease_ttl if ns.lease_ttl is not None else DEFAULT_LEASE_TTL
+        if ns.heartbeat_interval >= ttl:
+            return (
+                f"--heartbeat-interval ({ns.heartbeat_interval}s) must be "
+                f"smaller than the lease TTL ({ttl}s); a live evaluator "
+                "must refresh its lease before it can go stale"
+            )
+    return None
+
+
+def _make_store(ns: argparse.Namespace):
+    from repro.explore import ResultStore
+    from repro.explore.store import DEFAULT_LEASE_TTL
+
+    if getattr(ns, "no_cache", False):
+        return None
+    ttl = ns.lease_ttl if ns.lease_ttl is not None else DEFAULT_LEASE_TTL
+    return ResultStore(ns.cache_dir, lease_ttl=ttl)
+
+
 def _cmd_explore(ns: argparse.Namespace) -> int:
     from repro.explore import (
         Evaluator,
@@ -125,7 +160,11 @@ def _cmd_explore(ns: argparse.Namespace) -> int:
         get_strategy,
     )
 
-    store = None if ns.no_cache else ResultStore(ns.cache_dir)
+    error = _lease_knob_error(ns)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    store = _make_store(ns)
     if ns.clear_cache:
         removed = ResultStore(ns.cache_dir).clear()
         print(f"cleared {removed} cached evaluations from the result store")
@@ -160,15 +199,41 @@ def _cmd_explore(ns: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        evaluator = Evaluator(
-            kernel=kernel,
-            width=width,
-            engine=ns.engine,
-            workers=ns.workers,
-            store=store,
-            retries=ns.retries,
-            timeout=ns.timeout,
-        )
+        if ns.server:
+            from repro.serve import Client, RemoteEvaluator
+
+            try:
+                client = Client(
+                    ns.server,
+                    timeout=ns.server_timeout,
+                    retries=ns.server_retries,
+                    deadline=ns.server_deadline,
+                )
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            evaluator = RemoteEvaluator(
+                client,
+                kernel=kernel,
+                width=width,
+                engine=ns.engine,
+                store=store,
+                workers=ns.workers,
+                retries=ns.retries,
+                timeout=ns.timeout,
+                heartbeat_interval=ns.heartbeat_interval,
+            )
+        else:
+            evaluator = Evaluator(
+                kernel=kernel,
+                width=width,
+                engine=ns.engine,
+                workers=ns.workers,
+                store=store,
+                retries=ns.retries,
+                timeout=ns.timeout,
+                heartbeat_interval=ns.heartbeat_interval,
+            )
         budget = ns.budget if ns.budget is not None else space.grid_size()
         journal = store.journal_path() if store is not None else None
         if ns.resume and journal is None:
@@ -249,6 +314,9 @@ def _cmd_cache(ns: argparse.Namespace) -> int:
     if ns.action == "stats":
         print(f"store root: {store.root}")
         print(f"valid records: {len(store)}")
+        leases = list(store.leases())
+        stale = sum(1 for _, _, _, is_stale in leases if is_stale)
+        print(f"leases: {len(leases)} ({stale} stale)")
         journal = store.journal_path()
         if journal.exists():
             print(f"journal: {journal} ({journal.stat().st_size} bytes)")
@@ -271,6 +339,58 @@ def _cmd_cache(ns: argparse.Namespace) -> int:
     return 1 if report.bad and not ns.remove else 0
 
 
+def _cmd_serve(ns: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    error = _lease_knob_error(ns)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    from repro.serve import ExploreServer, ExploreService
+
+    store = _make_store(ns)
+    try:
+        service = ExploreService(
+            store=store,
+            engine=ns.engine or "compiled",
+            workers=ns.workers,
+            retries=ns.retries,
+            timeout=ns.timeout,
+            heartbeat_interval=ns.heartbeat_interval,
+            max_queue=ns.max_queue,
+        )
+        server = ExploreServer(service, host=ns.host, port=ns.port)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    host, port = server.address
+    cache = "disabled" if store is None else str(store.root)
+    print(
+        f"repro serve: listening on http://{host}:{port} "
+        f"(store: {cache}, max queue: {ns.max_queue})",
+        flush=True,
+    )
+
+    def _graceful(signum, frame) -> None:
+        # shutdown() must not run on the thread blocked in serve_forever.
+        print(
+            f"received signal {signum}; draining in-flight evaluations...",
+            flush=True,
+        )
+        threading.Thread(
+            target=server.shutdown,
+            kwargs={"drain_timeout": ns.drain_timeout},
+            daemon=True,
+        ).start()
+
+    signal.signal(signal.SIGINT, _graceful)
+    signal.signal(signal.SIGTERM, _graceful)
+    server.serve_forever()
+    print("repro serve: drained and stopped", flush=True)
+    return 0
+
+
 # ----------------------------------------------------------------------
 
 
@@ -282,6 +402,24 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--engine", choices=("compiled", "legacy"), default=None,
         help="dataflow engine (default: compiled)",
+    )
+
+
+def _add_lease_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="S",
+        help=(
+            "seconds without a heartbeat before a result-store lease "
+            "counts as stale and peers may reclaim it (default: 300)"
+        ),
+    )
+    parser.add_argument(
+        "--heartbeat-interval", type=float, default=None, metavar="S",
+        help=(
+            "seconds between lease-heartbeat refreshes at evaluation "
+            "batch boundaries; must be smaller than the lease TTL "
+            "(default: ttl/4, capped at 5s)"
+        ),
     )
 
 
@@ -402,6 +540,34 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_explore.add_argument(
+        "--server", default=None, metavar="URL",
+        help=(
+            "evaluate through a running `repro serve` instance (e.g. "
+            "http://127.0.0.1:8642) instead of simulating locally; if "
+            "the server stays unreachable past the retry budget the "
+            "exploration degrades to local evaluation and still completes"
+        ),
+    )
+    p_explore.add_argument(
+        "--server-timeout", type=float, default=30.0, metavar="S",
+        help="per-attempt HTTP timeout against --server (default: 30)",
+    )
+    p_explore.add_argument(
+        "--server-retries", type=int, default=5, metavar="N",
+        help=(
+            "retryable server failures (refused/timeout/5xx/torn body) "
+            "tolerated per request before degrading to local evaluation "
+            "(default: 5)"
+        ),
+    )
+    p_explore.add_argument(
+        "--server-deadline", type=float, default=None, metavar="S",
+        help=(
+            "overall wall-clock budget per server request, covering "
+            "retries and backoff sleeps (default: none)"
+        ),
+    )
+    p_explore.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="result-store root (default: .repro_cache, or $REPRO_CACHE_DIR)",
     )
@@ -428,7 +594,63 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_sweep_options(p_explore)
+    _add_lease_options(p_explore)
     p_explore.set_defaults(func=_cmd_explore, engine="compiled")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve design-point evaluations over HTTP (see explore --server)",
+        description=(
+            "Expose warm evaluators over HTTP: POST /evaluate answers "
+            "design-point batches (cache hits with zero simulation), "
+            "GET /healthz //readyz report liveness/readiness, and "
+            "GET /metrics exposes the repro.obs registry as Prometheus "
+            "text. The work queue is bounded: excess load is shed with "
+            "429 + Retry-After, and SIGINT/SIGTERM drain in-flight "
+            "evaluations before stopping."
+        ),
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="bind address (default: 127.0.0.1)",
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8642, metavar="PORT",
+        help="bind port; 0 picks a free one (default: 8642)",
+    )
+    p_serve.add_argument(
+        "--max-queue", type=int, default=8, metavar="N",
+        help=(
+            "most evaluate requests admitted at once (working + queued); "
+            "the excess is shed with 429 (default: 8)"
+        ),
+    )
+    p_serve.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="S",
+        help=(
+            "seconds a graceful shutdown waits for in-flight evaluations "
+            "before releasing leases and stopping anyway (default: 30)"
+        ),
+    )
+    p_serve.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="per-point retry budget of the serving evaluators (default: 2)",
+    )
+    p_serve.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-chunk evaluation timeout of the serving evaluators",
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-store root (default: .repro_cache, or $REPRO_CACHE_DIR)",
+    )
+    p_serve.add_argument(
+        "--no-cache", action="store_true",
+        help="serve without a result store (every request simulates)",
+    )
+    _add_sweep_options(p_serve)
+    _add_lease_options(p_serve)
+    p_serve.set_defaults(func=_cmd_serve, engine="compiled")
 
     p_profile = sub.add_parser(
         "profile",

@@ -46,6 +46,7 @@ from repro.explore.errors import (
     EvaluationFailed,
     LeaseHeld,
     PoisonPoint,
+    ServeDegradedWarning,
     StoreDegradedWarning,
     WorkerCrash,
 )
@@ -109,6 +110,7 @@ __all__ = [
     "PoisonPoint",
     "RandomStrategy",
     "ResultStore",
+    "ServeDegradedWarning",
     "StoreDegradedWarning",
     "Strategy",
     "WorkerCrash",

@@ -19,6 +19,10 @@ modes it must survive are first-class types here rather than bare
 result store cannot persist an evaluation (``ENOSPC``, read-only cache
 directory, injected I/O faults): the exploration continues with
 in-memory results rather than crashing hours into a sweep.
+:class:`ServeDegradedWarning` is its network sibling, emitted when a
+:class:`~repro.serve.client.RemoteEvaluator` exhausts its retry budget
+against an exploration server and falls back to local evaluation — the
+run completes (bit-identically) instead of dying with the server.
 """
 
 from __future__ import annotations
@@ -56,3 +60,7 @@ class LeaseHeld(Exception):
 
 class StoreDegradedWarning(UserWarning):
     """The result store could not persist/read an entry and degraded."""
+
+
+class ServeDegradedWarning(UserWarning):
+    """The exploration server became unreachable; evaluation went local."""

@@ -78,6 +78,7 @@ from repro.obs import metrics as _metrics
 from repro.obs.trace import flush_worker, span as _span, worker_init_from_env
 from repro.tech import ION_TRAP, TechnologyParams
 from repro.testing import faults
+from repro.util.backoff import Backoff
 
 ENGINES = ("compiled", "legacy")
 
@@ -558,11 +559,18 @@ class Evaluator:
         timeout: Per-chunk wall-clock budget in seconds for pooled
             evaluation; an overdue chunk's workers are killed, the pool
             rebuilt and the chunk retried/bisected. ``None`` disables.
-        retry_backoff: Base of the exponential backoff (seconds) slept
-            between retries and pool rebuilds.
+        retry_backoff: Base of the shared full-jitter exponential
+            backoff policy (:class:`repro.util.backoff.Backoff`, capped
+            at 2 s) slept between retries and pool rebuilds; 0 disables
+            sleeping.
         leases: Coordinate with concurrent evaluators sharing ``store``
             via its lease protocol (claim misses, await contested
             points, reclaim stale leases). Ignored without a store.
+        heartbeat_interval: Seconds between lease-heartbeat refreshes at
+            batch boundaries; must be smaller than the store's
+            ``lease_ttl`` (a heartbeat slower than the TTL would let a
+            *live* evaluator's lease be reclaimed). Default: a quarter
+            of the TTL, capped at 5 s.
 
     Counters (reset never; read via :meth:`stats` after a run):
 
@@ -590,6 +598,7 @@ class Evaluator:
         timeout: Optional[float] = None,
         retry_backoff: float = 0.1,
         leases: bool = True,
+        heartbeat_interval: Optional[float] = None,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
@@ -601,6 +610,17 @@ class Evaluator:
             raise ValueError(f"retries must be >= 0, got {retries}")
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be positive, got {timeout}")
+        if heartbeat_interval is not None:
+            if heartbeat_interval <= 0:
+                raise ValueError(
+                    f"heartbeat_interval must be positive, got {heartbeat_interval}"
+                )
+            if store is not None and heartbeat_interval >= store.lease_ttl:
+                raise ValueError(
+                    f"heartbeat_interval ({heartbeat_interval}s) must be "
+                    f"smaller than the store's lease_ttl ({store.lease_ttl}s); "
+                    "a live lease must be refreshed before it can go stale"
+                )
         self._analysis = analysis
         self._kernel = kernel
         self._width = width
@@ -611,8 +631,9 @@ class Evaluator:
         self.store = store
         self._retries = retries
         self._timeout = timeout
-        self._retry_backoff = retry_backoff
+        self._backoff = Backoff(base=retry_backoff, cap=2.0)
         self._leases = leases
+        self._heartbeat_interval = heartbeat_interval
         self._lease_poll = 0.05
         self._quarantine: Dict[str, str] = {}
         self._active_leases: List[Dict[str, object]] = []
@@ -844,19 +865,39 @@ class Evaluator:
     # Fault-tolerant execution
 
     def _sleep_backoff(self, attempt: int) -> None:
-        if self._retry_backoff > 0:
-            time.sleep(min(self._retry_backoff * 2 ** (attempt - 1), 2.0))
+        self._backoff.sleep(attempt)
 
     def _heartbeat_leases(self) -> None:
         """Refresh owned leases (throttled) so they never look stale."""
         if self.store is None or not self._active_leases:
             return
+        interval = (
+            self._heartbeat_interval
+            if self._heartbeat_interval is not None
+            else min(5.0, self.store.lease_ttl / 4)
+        )
         now = time.monotonic()
-        if now - self._last_heartbeat < min(5.0, self.store.lease_ttl / 4):
+        if now - self._last_heartbeat < interval:
             return
         self._last_heartbeat = now
         for key in self._active_leases:
             self.store.heartbeat(key)
+
+    def release_leases(self) -> int:
+        """Release any store leases this evaluator still holds.
+
+        The normal batch path releases each lease as its point resolves;
+        this is the shutdown path — a server draining with an evaluation
+        cut short must not make peers wait out the lease TTL. Returns
+        the number of leases released.
+        """
+        held = self._active_leases
+        self._active_leases = []
+        if self.store is None:
+            return 0
+        for key in held:
+            self.store.release(key)
+        return len(held)
 
     def _evaluate_one_serial(self, cpoint: Dict[str, object]) -> Evaluation:
         """One point, in-process, retried with backoff, then quarantined."""

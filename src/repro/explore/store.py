@@ -141,6 +141,8 @@ class ResultStore:
         self.owner = owner or (
             f"{socket.gethostname()}:{os.getpid()}:{uuid.uuid4().hex[:8]}"
         )
+        if float(lease_ttl) <= 0:
+            raise ValueError(f"lease_ttl must be positive, got {lease_ttl}")
         self.lease_ttl = float(lease_ttl)
 
     # ------------------------------------------------------------------
@@ -374,6 +376,23 @@ class ResultStore:
                 os.utime(path)
             except OSError:
                 pass
+
+    def leases(self) -> Iterator[Tuple[str, Optional[str], float, bool]]:
+        """Live lease files: ``(digest, owner, age_seconds, stale)`` rows.
+
+        What ``repro cache stats`` reports and a draining server logs —
+        a lease outliving its owner shows up here until a peer reclaims
+        it or ``fsck --remove`` sweeps it.
+        """
+        if not self.directory.is_dir():
+            return
+        now = time.time()
+        for path in sorted(self.directory.glob("*.lease")):
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:
+                continue  # released between glob and stat
+            yield path.stem, self.lease_owner(path), age, age > self.lease_ttl
 
     @contextmanager
     def hold(self, key: Dict):

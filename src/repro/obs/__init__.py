@@ -36,6 +36,7 @@ from repro.obs.metrics import (
     PHASE_SECONDS,
     PHASE_SECONDS_EDGES,
     REGISTRY,
+    REQUEST_SECONDS_EDGES,
     Registry,
     counter,
     gauge,
@@ -83,6 +84,7 @@ __all__ = [
     "PHASE_SECONDS",
     "PHASE_SECONDS_EDGES",
     "LATENCY_SECONDS_EDGES",
+    "REQUEST_SECONDS_EDGES",
     "Span",
     "Tracer",
     "SPOOL_ENV",

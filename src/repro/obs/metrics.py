@@ -47,6 +47,7 @@ __all__ = [
     "PHASE_SECONDS",
     "PHASE_SECONDS_EDGES",
     "LATENCY_SECONDS_EDGES",
+    "REQUEST_SECONDS_EDGES",
 ]
 
 #: Histogram of span durations, labeled ``phase=<span name>``; fed by the
@@ -63,6 +64,12 @@ PHASE_SECONDS_EDGES: Tuple[float, ...] = (
 #: Bucket edges for store / lease I/O latencies (µs to seconds).
 LATENCY_SECONDS_EDGES: Tuple[float, ...] = (
     1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0
+)
+
+#: Bucket edges for exploration-service request latencies: a cache-hit
+#: batch answers in milliseconds, a cold sweep batch can take minutes.
+REQUEST_SECONDS_EDGES: Tuple[float, ...] = (
+    1e-3, 5e-3, 0.025, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0
 )
 
 _LabelKey = Tuple[Tuple[str, str], ...]

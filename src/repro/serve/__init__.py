@@ -1,0 +1,59 @@
+"""repro.serve — the design space as a crash-tolerant network service.
+
+The ROADMAP's "many evaluators, one store" story, completed over HTTP:
+``repro serve`` exposes warm :class:`~repro.explore.evaluator.Evaluator`
+instances behind a stdlib ``ThreadingHTTPServer``
+(:class:`ExploreServer` / :class:`ExploreService`), and
+:class:`Client` / :class:`RemoteEvaluator` let any exploration run
+against it — with per-request deadlines, full-jitter retry, 429
+backpressure handling, and graceful degradation to local evaluation
+when the server stays unreachable. Served and local evaluations are
+bit-identical; the shared content-addressed store plus the lease
+protocol keep N clients from ever simulating the same point twice.
+
+Two-terminal quickstart::
+
+    # terminal 1
+    python -m repro serve --port 8642
+
+    # terminal 2
+    python -m repro explore qcla-32 --server http://127.0.0.1:8642
+
+See the README "Serving" section for the endpoint table and the
+failure-mode matrix.
+"""
+
+from repro.serve.client import (
+    Client,
+    RemoteEvaluator,
+    RequestError,
+    ServeError,
+    ServerOverloaded,
+    ServerUnavailable,
+    TransportError,
+)
+from repro.serve.protocol import (
+    EVALUATE_PATH,
+    HEALTH_PATH,
+    METRICS_PATH,
+    READY_PATH,
+    ProtocolError,
+)
+from repro.serve.server import ExploreServer, ExploreService
+
+__all__ = [
+    "Client",
+    "ExploreServer",
+    "ExploreService",
+    "EVALUATE_PATH",
+    "HEALTH_PATH",
+    "METRICS_PATH",
+    "READY_PATH",
+    "ProtocolError",
+    "RemoteEvaluator",
+    "RequestError",
+    "ServeError",
+    "ServerOverloaded",
+    "ServerUnavailable",
+    "TransportError",
+]

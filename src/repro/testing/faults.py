@@ -33,13 +33,28 @@ Failure modes (:class:`FaultRule.mode`):
     observes ``BrokenProcessPool``.
 ``raise``
     Raise ``exc`` (a builtin exception name, default ``RuntimeError``)
-    — a poisoned design point or failing store I/O.
+    — a poisoned design point or failing store I/O. At the
+    ``serve_request`` stage the server maps it to an HTTP 500, so
+    ``times=N`` makes an N-deep **5xx burst**.
 ``hang``
-    ``time.sleep(seconds)`` — a slow or wedged evaluation, for
-    exercising the timeout path.
+    ``time.sleep(seconds)`` — a slow or wedged evaluation (timeout
+    path), or at the serve stages a server that accepts the connection
+    and then goes silent (client read-timeout path).
 ``torn``
     Truncate the payload at :func:`mangle` call sites — a torn store
-    write that must read back as a cache miss, never as data.
+    write that must read back as a cache miss, never as data; at the
+    ``serve_response`` stage, a response body cut off mid-flight that
+    the client must treat as retryable, never as data.
+``refuse``
+    Raise :class:`Refused`, which the serving layer catches and answers
+    by severing the connection without any HTTP response — what a
+    connection refused/reset by a dead or restarting server looks like
+    from the client.
+
+The network fault plans (``serve_request`` / ``serve_response`` stages)
+arm through the same environment variables as the worker-crash plans,
+so the whole client failure matrix — refused, hang, torn body, 5xx
+burst — is driven by the same harness that kills pool workers.
 """
 
 from __future__ import annotations
@@ -54,8 +69,15 @@ from typing import Dict, List, Optional, Tuple
 ENV_PLAN = "REPRO_FAULTS"
 ENV_STATE = "REPRO_FAULTS_DIR"
 
-#: Stages the production hooks announce.
-STAGES = ("evaluate", "store_put", "store_get")
+#: Stages the production hooks announce. The ``serve_*`` pair are the
+#: exploration server's seams: ``serve_request`` fires after a request
+#: is parsed (refuse / hang / 5xx), ``serve_response`` just before the
+#: body is written (hang / torn).
+STAGES = ("evaluate", "store_put", "store_get", "serve_request", "serve_response")
+
+
+class Refused(Exception):
+    """A ``refuse`` rule fired: sever the connection, send no response."""
 
 
 @dataclass
@@ -63,7 +85,8 @@ class FaultRule:
     """One injectable failure.
 
     Args:
-        mode: ``"exit"``, ``"raise"``, ``"hang"`` or ``"torn"``.
+        mode: ``"exit"``, ``"raise"``, ``"hang"``, ``"torn"`` or
+            ``"refuse"``.
         stage: Hook site the rule listens on (see :data:`STAGES`).
         match: Point items that must all be present for the rule to
             fire; ``{}`` matches every point (and ``None`` points).
@@ -184,6 +207,8 @@ def active_plan() -> Optional[FaultPlan]:
 def _fire(rule: FaultRule) -> None:
     if rule.mode == "exit":
         os._exit(rule.exit_code)
+    if rule.mode == "refuse":
+        raise Refused(rule.message)
     if rule.mode == "hang":
         time.sleep(rule.seconds)
         return

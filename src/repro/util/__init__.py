@@ -1,0 +1,5 @@
+"""Small shared utilities with no dependencies on the rest of the stack."""
+
+from repro.util.backoff import Backoff
+
+__all__ = ["Backoff"]

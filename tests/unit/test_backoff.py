@@ -1,0 +1,105 @@
+"""Unit tests for the shared retry-backoff policy (repro.util.backoff)."""
+
+import random
+import time
+
+import pytest
+
+from repro.util.backoff import Backoff
+
+
+class TestCeiling:
+    def test_doubles_per_attempt(self):
+        policy = Backoff(base=0.1, cap=100.0)
+        assert policy.ceiling(1) == pytest.approx(0.1)
+        assert policy.ceiling(2) == pytest.approx(0.2)
+        assert policy.ceiling(5) == pytest.approx(1.6)
+
+    def test_cap_bounds_growth(self):
+        policy = Backoff(base=0.5, cap=2.0)
+        assert policy.ceiling(3) == 2.0
+        assert policy.ceiling(50) == 2.0  # no overflow past the cap
+
+    def test_attempt_counts_from_one(self):
+        with pytest.raises(ValueError, match="attempt"):
+            Backoff().ceiling(0)
+
+    def test_negative_base_rejected(self):
+        with pytest.raises(ValueError, match="base"):
+            Backoff(base=-0.1)
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError, match="cap"):
+            Backoff(cap=-1.0)
+
+
+class TestDelay:
+    def test_full_jitter_stays_in_envelope(self):
+        policy = Backoff(base=0.1, cap=2.0)
+        rng = random.Random(7)
+        for attempt in range(1, 10):
+            for _ in range(50):
+                delay = policy.delay(attempt, rng=rng)
+                assert 0.0 <= delay <= policy.ceiling(attempt)
+
+    def test_jitter_actually_varies(self):
+        policy = Backoff(base=1.0, cap=8.0)
+        rng = random.Random(11)
+        draws = {policy.delay(3, rng=rng) for _ in range(20)}
+        assert len(draws) > 1
+
+    def test_no_jitter_is_deterministic(self):
+        policy = Backoff(base=0.25, cap=10.0, jitter=False)
+        assert [policy.delay(a) for a in (1, 2, 3)] == [0.25, 0.5, 1.0]
+
+    def test_zero_base_never_sleeps(self):
+        policy = Backoff(base=0.0)
+        assert policy.delay(1) == 0.0
+        assert policy.sleep(5) == 0.0
+
+
+class TestSleep:
+    def test_sleep_calls_through(self):
+        slept = []
+        policy = Backoff(base=0.5, cap=4.0, jitter=False)
+        got = policy.sleep(2, _sleep=slept.append)
+        assert got == 1.0
+        assert slept == [1.0]
+
+    def test_deadline_truncates(self):
+        slept = []
+        policy = Backoff(base=10.0, cap=10.0, jitter=False)
+        deadline = time.monotonic() + 0.05
+        got = policy.sleep(1, deadline=deadline, _sleep=slept.append)
+        assert got <= 0.05
+        assert slept and slept[0] == got
+
+    def test_past_deadline_skips_sleep(self):
+        slept = []
+        policy = Backoff(base=10.0, jitter=False)
+        got = policy.sleep(1, deadline=time.monotonic() - 1.0,
+                           _sleep=slept.append)
+        assert got == 0.0
+        assert slept == []
+
+    def test_rng_makes_sleep_reproducible(self):
+        policy = Backoff(base=0.2, cap=2.0)
+        a = policy.sleep(3, rng=random.Random(3), _sleep=lambda _s: None)
+        b = policy.sleep(3, rng=random.Random(3), _sleep=lambda _s: None)
+        assert a == b
+
+
+class TestEvaluatorIntegration:
+    def test_evaluator_uses_shared_policy(self):
+        from repro.explore import Evaluator
+
+        evaluator = Evaluator(kernel="qrca", width=8, retry_backoff=0.25)
+        assert isinstance(evaluator._backoff, Backoff)
+        assert evaluator._backoff.base == 0.25
+
+    def test_client_uses_shared_policy(self):
+        from repro.serve import Client
+
+        client = Client("http://127.0.0.1:1")
+        assert isinstance(client.backoff, Backoff)
+        assert client.backoff.base > 0

@@ -1,0 +1,276 @@
+"""Unit tests for the exploration server and its client.
+
+One warm in-process server (module scope) backs the happy-path tests;
+drain/shutdown behavior gets dedicated short-lived servers so the
+shared one stays up.
+"""
+
+import http.client
+import json
+
+import pytest
+
+from repro.explore import Evaluator, ResultStore, ServeDegradedWarning
+from repro.serve import (
+    Client,
+    ExploreServer,
+    ExploreService,
+    RemoteEvaluator,
+    RequestError,
+    ServerUnavailable,
+)
+from repro.util.backoff import Backoff
+
+POINTS = [
+    {"arch": "qla", "factory_area": area}
+    for area in (40.0, 80.0, 120.0, 160.0)
+]
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return Evaluator(kernel="qrca", width=8).evaluate(POINTS)
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    store = ResultStore(tmp_path_factory.mktemp("serve-store"))
+    service = ExploreService(store=store, max_queue=4)
+    server = ExploreServer(service)
+    server.start_background()
+    yield server
+    server.shutdown(drain_timeout=5.0)
+
+
+@pytest.fixture
+def client(server):
+    return Client(server.url, timeout=30.0, retries=2,
+                  backoff=Backoff(base=0.0))
+
+
+def assert_identical(got, ref):
+    for have, want in zip(got, ref):
+        assert have.ok
+        assert have.result == want.result
+        assert have.total_area == want.total_area
+
+
+class TestEvaluate:
+    def test_served_evaluations_match_local(self, client, reference):
+        evaluations, stats = client.evaluate("qrca", 8, POINTS)
+        assert_identical(evaluations, reference)
+        assert stats["simulations_run"] + stats["cache_hits"] == len(POINTS)
+
+    def test_warm_second_request_simulates_nothing(self, client, reference):
+        client.evaluate("qrca", 8, POINTS)  # warm the store
+        evaluations, stats = client.evaluate("qrca", 8, POINTS)
+        assert stats["simulations_run"] == 0
+        assert stats["cache_hits"] == len(POINTS)
+        assert all(e.from_cache for e in evaluations)
+        assert_identical(evaluations, reference)
+
+    def test_unknown_kernel_is_terminal_400(self, client):
+        with pytest.raises(RequestError) as excinfo:
+            client.evaluate("nosuchkernel", 8, POINTS[:1])
+        assert excinfo.value.status == 400
+
+    def test_unknown_engine_is_terminal_400(self, client):
+        with pytest.raises(RequestError) as excinfo:
+            client.evaluate("qrca", 8, POINTS[:1], engine="warp")
+        assert excinfo.value.status == 400
+
+
+class TestEndpoints:
+    def test_healthz(self, client):
+        assert client.health()
+
+    def test_readyz_reports_queue(self, server, client):
+        status, payload, _ = client.request("GET", "/readyz")
+        assert status == 200
+        body = json.loads(payload)
+        assert body["status"] == "ready"
+        assert body["max_queue"] == server.service.max_queue
+
+    def test_metrics_exposes_serve_counters(self, client):
+        client.evaluate("qrca", 8, POINTS[:1])
+        text = client.metrics()
+        assert "repro_serve_requests_total" in text
+        assert "repro_serve_request_seconds" in text
+        # Prometheus text: every non-comment line is `name{labels} value`.
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name_part, _, value = line.rpartition(" ")
+            assert name_part
+            float(value)
+
+    def test_unknown_route_404(self, client):
+        with pytest.raises(RequestError) as excinfo:
+            client.request("GET", "/nope")
+        assert excinfo.value.status == 404
+        with pytest.raises(RequestError) as excinfo:
+            client.request("POST", "/nope", body=b"{}")
+        assert excinfo.value.status == 404
+
+    def test_post_without_body_is_411(self, server):
+        connection = http.client.HTTPConnection(*server.address, timeout=10)
+        try:
+            connection.request("POST", "/evaluate")
+            assert connection.getresponse().status == 411
+        finally:
+            connection.close()
+
+    def test_malformed_json_is_400(self, client):
+        with pytest.raises(RequestError) as excinfo:
+            client.request("POST", "/evaluate", body=b"{not json")
+        assert excinfo.value.status == 400
+
+
+class TestBackpressure:
+    def test_full_queue_sheds_with_retry_after(self, server, client):
+        service = server.service
+        admitted = 0
+        while service.admit() == "ok":
+            admitted += 1
+        try:
+            assert admitted == service.max_queue
+            assert service.admit() == "overloaded"
+            status, payload, headers = client._attempt(
+                "POST", "/evaluate",
+                body=b'{"kernel":"qrca","width":8,'
+                     b'"points":[{"arch":"qla","factory_area":40.0}]}',
+                timeout=10.0,
+            )
+            assert status == 429
+            assert float(headers["Retry-After"]) > 0
+            assert "queue full" in json.loads(payload)["error"]
+        finally:
+            for _ in range(admitted):
+                service.finish()
+
+    def test_shed_request_fails_cleanly_at_deadline(self, server):
+        service = server.service
+        admitted = 0
+        while service.admit() == "ok":
+            admitted += 1
+        try:
+            capped = Client(server.url, timeout=5.0, retries=0,
+                            deadline=0.3, backoff=Backoff(base=0.0))
+            with pytest.raises(ServerUnavailable, match="exhausted"):
+                capped.evaluate("qrca", 8, POINTS[:1])
+        finally:
+            for _ in range(admitted):
+                service.finish()
+
+
+class TestDrainAndShutdown:
+    def test_drain_refuses_new_work_and_releases(self, tmp_path):
+        store = ResultStore(tmp_path)
+        service = ExploreService(store=store)
+        server = ExploreServer(service)
+        server.start_background()
+        client = Client(server.url, timeout=10.0, retries=0,
+                        backoff=Backoff(base=0.0))
+        client.evaluate("qrca", 8, POINTS[:1])
+        assert service.drain(timeout=5.0)
+        assert not client.ready()  # readyz 503 while draining
+        assert client.health()  # liveness stays green
+        status, _, headers = client._attempt(
+            "POST", "/evaluate",
+            body=b'{"kernel":"qrca","width":8,'
+                 b'"points":[{"arch":"qla","factory_area":40.0}]}',
+            timeout=10.0,
+        )
+        assert status == 503
+        assert "Retry-After" in headers
+        assert server.shutdown(drain_timeout=1.0)
+        assert list(store.leases()) == []
+
+    def test_max_queue_validated(self):
+        with pytest.raises(ValueError, match="max_queue"):
+            ExploreService(max_queue=0)
+
+
+class TestRemoteEvaluator:
+    def test_explore_through_server_matches_local(self, server, tmp_path):
+        from repro.explore import (
+            AdcrObjective, GridStrategy, architecture_space, explore,
+        )
+        from repro.kernels import analyze_kernel
+
+        analysis = analyze_kernel("qrca", 8)
+        space = architecture_space(analysis)
+        budget = min(8, space.grid_size())
+
+        local = explore(
+            space, AdcrObjective(), GridStrategy(space),
+            evaluator=Evaluator(kernel="qrca", width=8,
+                                store=ResultStore(tmp_path / "local")),
+            budget=budget,
+        )
+        remote_eval = RemoteEvaluator(
+            Client(server.url, timeout=30.0, retries=2,
+                   backoff=Backoff(base=0.0)),
+            kernel="qrca", width=8,
+        )
+        remote = explore(
+            space, AdcrObjective(), GridStrategy(space),
+            evaluator=remote_eval, budget=budget,
+        )
+        assert not remote_eval.degraded
+        assert remote_eval.remote_batches > 0
+        assert remote.best_score == local.best_score
+        assert remote.best.point == local.best.point
+        assert remote.best.result == local.best.result
+
+    def test_dead_server_degrades_to_local(self, reference, tmp_path):
+        # A port from the ephemeral range with no listener: every
+        # connect is refused, so the retry budget drains instantly.
+        dead = Client("http://127.0.0.1:9", timeout=0.5, retries=1,
+                      backoff=Backoff(base=0.0))
+        evaluator = RemoteEvaluator(
+            dead, kernel="qrca", width=8, store=ResultStore(tmp_path)
+        )
+        with pytest.warns(ServeDegradedWarning, match="degrading to"):
+            evaluations = evaluator.evaluate(POINTS)
+        assert evaluator.degraded
+        assert evaluator.fallback_batches == 1
+        assert_identical(evaluations, reference)
+        # Degraded is sticky: the next batch goes straight to local.
+        evaluator.evaluate(POINTS)
+        assert evaluator.fallback_batches == 2
+        stats = evaluator.stats()
+        assert stats["degraded"] == 1
+        assert stats["remote_batches"] == 0
+
+    def test_stats_merge_remote_deltas(self, server, tmp_path):
+        evaluator = RemoteEvaluator(
+            Client(server.url, timeout=30.0, retries=2,
+                   backoff=Backoff(base=0.0)),
+            kernel="qrca", width=8, store=ResultStore(tmp_path),
+        )
+        evaluator.evaluate(POINTS[:2])
+        assert evaluator.simulations_run + evaluator.cache_hits == 2
+        assert evaluator.canonical_key(POINTS[0])  # local, server-free
+        assert evaluator.stats()["remote_batches"] == 1
+
+
+class TestClientValidation:
+    def test_bad_url_rejected(self):
+        with pytest.raises(ValueError, match="URL"):
+            Client("http://")
+
+    def test_https_rejected(self):
+        with pytest.raises(ValueError, match="http"):
+            Client("https://example.com")
+
+    def test_bare_host_port_accepted(self):
+        client = Client("127.0.0.1:8642")
+        assert client.base_url == "http://127.0.0.1:8642"
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"timeout": 0}, {"retries": -1}, {"deadline": 0.0}]
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Client("http://127.0.0.1:1", **kwargs)
