@@ -200,14 +200,23 @@ def _cmd_explore(ns: argparse.Namespace) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         if ns.server:
-            from repro.serve import Client, RemoteEvaluator
+            from repro.serve import RemoteEvaluator, ReplicaSet
 
+            servers = [
+                url.strip()
+                for entry in ns.server
+                for url in entry.split(",")
+                if url.strip()
+            ]
             try:
-                client = Client(
-                    ns.server,
+                client = ReplicaSet(
+                    servers,
                     timeout=ns.server_timeout,
                     retries=ns.server_retries,
                     deadline=ns.server_deadline,
+                    failure_threshold=ns.breaker_threshold,
+                    cooldown=ns.breaker_cooldown,
+                    hedge_after=ns.hedge_after,
                 )
             except ValueError as exc:
                 print(f"error: {exc}", file=sys.stderr)
@@ -359,16 +368,31 @@ def _cmd_serve(ns: argparse.Namespace) -> int:
             timeout=ns.timeout,
             heartbeat_interval=ns.heartbeat_interval,
             max_queue=ns.max_queue,
+            coalesce=ns.coalesce,
+            replica_id=ns.replica_id,
         )
         server = ExploreServer(service, host=ns.host, port=ns.port)
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    # The bound port, not the requested one: with --port 0 the kernel
+    # picks a free port, and the banner (plus --port-file) is how
+    # callers learn which.
     host, port = server.address
+    if ns.port_file:
+        try:
+            with open(ns.port_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{port}\n")
+        except OSError as exc:
+            print(f"error: cannot write --port-file: {exc}", file=sys.stderr)
+            return 2
     cache = "disabled" if store is None else str(store.root)
+    replica = f", replica: {ns.replica_id}" if ns.replica_id else ""
+    coalesce = "on" if ns.coalesce else "off"
     print(
         f"repro serve: listening on http://{host}:{port} "
-        f"(store: {cache}, max queue: {ns.max_queue})",
+        f"(store: {cache}, max queue: {ns.max_queue}, "
+        f"coalesce: {coalesce}{replica})",
         flush=True,
     )
 
@@ -540,12 +564,14 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_explore.add_argument(
-        "--server", default=None, metavar="URL",
+        "--server", action="append", default=None, metavar="URL",
         help=(
-            "evaluate through a running `repro serve` instance (e.g. "
-            "http://127.0.0.1:8642) instead of simulating locally; if "
-            "the server stays unreachable past the retry budget the "
-            "exploration degrades to local evaluation and still completes"
+            "evaluate through running `repro serve` instance(s) instead "
+            "of simulating locally; repeat the flag (or comma-separate "
+            "URLs) to form a replica set with per-replica circuit "
+            "breakers and failover. If every replica stays unreachable "
+            "the exploration degrades to local evaluation, still "
+            "completes, and returns to the fleet when a probe succeeds"
         ),
     )
     p_explore.add_argument(
@@ -564,7 +590,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--server-deadline", type=float, default=None, metavar="S",
         help=(
             "overall wall-clock budget per server request, covering "
-            "retries and backoff sleeps (default: none)"
+            "retries, backoff sleeps, and failover across replicas "
+            "(default: none)"
+        ),
+    )
+    p_explore.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help=(
+            "consecutive failures that open a replica's circuit "
+            "breaker (default: 3)"
+        ),
+    )
+    p_explore.add_argument(
+        "--breaker-cooldown", type=float, default=5.0, metavar="S",
+        help=(
+            "seconds an open breaker waits before admitting a "
+            "half-open probe (default: 5)"
+        ),
+    )
+    p_explore.add_argument(
+        "--hedge-after", type=float, default=None, metavar="S",
+        help=(
+            "hedge a request against a second healthy replica after S "
+            "seconds of silence; the store's lease protocol arbitrates "
+            "duplicates (default: off)"
         ),
     )
     p_explore.add_argument(
@@ -616,7 +665,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--port", type=int, default=8642, metavar="PORT",
-        help="bind port; 0 picks a free one (default: 8642)",
+        help=(
+            "bind port; 0 picks a free one — the startup banner (and "
+            "--port-file) report the actually-bound port (default: 8642)"
+        ),
+    )
+    p_serve.add_argument(
+        "--port-file", default=None, metavar="FILE",
+        help=(
+            "write the actually-bound port to FILE after binding "
+            "(scripting aid for --port 0)"
+        ),
+    )
+    p_serve.add_argument(
+        "--coalesce", action=argparse.BooleanOptionalAction, default=True,
+        help=(
+            "single-flight concurrent evaluate requests whose point "
+            "sets overlap: one simulation pass per canonical point "
+            "(default: on; --no-coalesce disables)"
+        ),
+    )
+    p_serve.add_argument(
+        "--replica-id", default=None, metavar="NAME",
+        help=(
+            "identity of this replica in a fleet; replica-scoped fault "
+            "rules (testing) match against it"
+        ),
     )
     p_serve.add_argument(
         "--max-queue", type=int, default=8, metavar="N",

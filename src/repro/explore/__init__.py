@@ -47,6 +47,7 @@ from repro.explore.errors import (
     LeaseHeld,
     PoisonPoint,
     ServeDegradedWarning,
+    ServeRecoveredWarning,
     StoreDegradedWarning,
     WorkerCrash,
 )
@@ -111,6 +112,7 @@ __all__ = [
     "RandomStrategy",
     "ResultStore",
     "ServeDegradedWarning",
+    "ServeRecoveredWarning",
     "StoreDegradedWarning",
     "Strategy",
     "WorkerCrash",

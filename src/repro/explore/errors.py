@@ -21,8 +21,11 @@ directory, injected I/O faults): the exploration continues with
 in-memory results rather than crashing hours into a sweep.
 :class:`ServeDegradedWarning` is its network sibling, emitted when a
 :class:`~repro.serve.client.RemoteEvaluator` exhausts its retry budget
-against an exploration server and falls back to local evaluation — the
-run completes (bit-identically) instead of dying with the server.
+against an exploration server (or a whole replica fleet) and falls back
+to local evaluation — the run completes (bit-identically) instead of
+dying with the server. :class:`ServeRecoveredWarning` announces the
+reverse transition: a replica probe succeeded and evaluation returned
+to the fleet.
 """
 
 from __future__ import annotations
@@ -64,3 +67,7 @@ class StoreDegradedWarning(UserWarning):
 
 class ServeDegradedWarning(UserWarning):
     """The exploration server became unreachable; evaluation went local."""
+
+
+class ServeRecoveredWarning(UserWarning):
+    """A replica probe succeeded; evaluation returned to the fleet."""

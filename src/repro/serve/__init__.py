@@ -11,13 +11,24 @@ when the server stays unreachable. Served and local evaluations are
 bit-identical; the shared content-addressed store plus the lease
 protocol keep N clients from ever simulating the same point twice.
 
-Two-terminal quickstart::
+A fleet of replicas is one step up: point N ``repro serve`` processes
+at one ``--cache-dir`` and hand :class:`ReplicaSet` the URL list — it
+adds per-replica circuit breakers, failover with deadline propagation,
+optional hedged requests, and ``/readyz`` probes that un-degrade a
+fallen-back exploration when a replica returns
+(:mod:`repro.serve.pool`). On the server side, single-flight
+coalescing shares one evaluation per canonical point across concurrent
+overlapping requests.
 
-    # terminal 1
-    python -m repro serve --port 8642
+Replica-set quickstart::
 
-    # terminal 2
-    python -m repro explore qcla-32 --server http://127.0.0.1:8642
+    # terminals 1 and 2 (one shared store)
+    python -m repro serve --port 8642 --cache-dir .repro_cache
+    python -m repro serve --port 8643 --cache-dir .repro_cache
+
+    # terminal 3: failover client over both replicas
+    python -m repro explore qcla-32 \\
+        --server http://127.0.0.1:8642 --server http://127.0.0.1:8643
 
 See the README "Serving" section for the endpoint table and the
 failure-mode matrix.
@@ -32,6 +43,11 @@ from repro.serve.client import (
     ServerUnavailable,
     TransportError,
 )
+from repro.serve.pool import (
+    AllReplicasUnavailable,
+    CircuitBreaker,
+    ReplicaSet,
+)
 from repro.serve.protocol import (
     EVALUATE_PATH,
     HEALTH_PATH,
@@ -42,9 +58,12 @@ from repro.serve.protocol import (
 from repro.serve.server import ExploreServer, ExploreService
 
 __all__ = [
+    "AllReplicasUnavailable",
+    "CircuitBreaker",
     "Client",
     "ExploreServer",
     "ExploreService",
+    "ReplicaSet",
     "EVALUATE_PATH",
     "HEALTH_PATH",
     "METRICS_PATH",

@@ -37,6 +37,8 @@ Two layers:
 
 from __future__ import annotations
 
+import datetime
+import email.utils
 import http.client
 import json
 import socket
@@ -46,7 +48,7 @@ import warnings
 from random import Random
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.explore.errors import ServeDegradedWarning
+from repro.explore.errors import ServeDegradedWarning, ServeRecoveredWarning
 from repro.explore.evaluator import Evaluation, Evaluator
 from repro.explore.store import ResultStore
 from repro.obs import metrics as _metrics
@@ -83,11 +85,30 @@ class ServerUnavailable(ServeError):
 
 
 def _retry_after(headers, default: float = 1.0) -> float:
+    """Seconds to wait per a ``Retry-After`` header.
+
+    RFC 7231 allows both forms: delta-seconds (``"2"``) and an HTTP-date
+    (``"Fri, 08 Aug 2026 12:00:00 GMT"``). Dates are converted to a
+    non-negative delay against the current wall clock; anything
+    unparseable falls back to ``default``.
+    """
+    raw = headers.get("Retry-After")
+    if raw is None:
+        return default
     try:
-        value = float(headers.get("Retry-After", default))
+        return max(0.0, float(raw))
+    except (TypeError, ValueError):
+        pass
+    try:
+        parsed = email.utils.parsedate_to_datetime(str(raw))
     except (TypeError, ValueError):
         return default
-    return max(0.0, value)
+    if parsed is None:
+        return default
+    if parsed.tzinfo is None:  # RFC 7231 dates are GMT
+        parsed = parsed.replace(tzinfo=datetime.timezone.utc)
+    now = datetime.datetime.now(datetime.timezone.utc)
+    return max(0.0, (parsed - now).total_seconds())
 
 
 class Client:
@@ -280,6 +301,23 @@ class Client:
         except ServeError:
             return False
 
+    def probe(self, timeout: Optional[float] = None) -> bool:
+        """One bare ``/readyz`` attempt — no retries, no backoff.
+
+        The health-probe primitive a :class:`~repro.serve.pool.ReplicaSet`
+        sends through a half-open breaker: a single attempt answers
+        "can this replica take traffic right now", which retrying would
+        only blur.
+        """
+        try:
+            status, _, _ = self._attempt(
+                "GET", protocol.READY_PATH, None,
+                timeout if timeout is not None else self.timeout,
+            )
+        except TransportError:
+            return False
+        return status == 200
+
     def metrics(self) -> str:
         """The server's Prometheus text (raises ServeError on failure)."""
         _, payload, _ = self.request("GET", protocol.METRICS_PATH)
@@ -295,8 +333,23 @@ class RemoteEvaluator:
     engine reads. Canonicalization is always local (it is pure), so
     dedupe and journal keys never depend on the server being up.
 
+    The degrade ladder depends on the transport. With a plain
+    :class:`Client` the first :class:`ServerUnavailable` flips the
+    facade into degraded mode for the rest of the run ("server died").
+    With a :class:`~repro.serve.pool.ReplicaSet` — any transport with a
+    ``try_recover()`` method — degradation means "fleet died": every
+    replica's breaker rejected the request; before each subsequent
+    batch the facade asks the transport to probe, and a successful
+    ``/readyz`` probe un-degrades the run back to served evaluation.
+    Degrade and recover events are mirrored into the global
+    ``repro_serve_degraded_total`` / ``repro_serve_recovered_total``
+    counters so fleet health is visible in ``/metrics`` and
+    ``--metrics`` exports.
+
     Args:
-        client: Transport to the exploration server.
+        client: Transport to the exploration server — a
+            :class:`Client`, or a :class:`~repro.serve.pool.ReplicaSet`
+            for a fleet with failover.
         kernel/width: Kernel spec (must match what the server will
             analyze — the spec *is* the request).
         engine: Dataflow engine requested of the server and used by the
@@ -338,6 +391,7 @@ class RemoteEvaluator:
         self.degraded = False
         self.remote_batches = 0
         self.fallback_batches = 0
+        self.recoveries = 0
         self._remote_stats: Dict[str, int] = {}
 
     # -- Evaluator surface ---------------------------------------------
@@ -367,17 +421,23 @@ class RemoteEvaluator:
         merged["remote_batches"] = self.remote_batches
         merged["fallback_batches"] = self.fallback_batches
         merged["degraded"] = int(self.degraded)
+        merged["recoveries"] = self.recoveries
         return merged
 
     def evaluate(self, points: Sequence[Dict[str, object]]) -> List[Evaluation]:
         """Evaluate ``points`` remotely, degrading to local on outage.
 
-        The first exhausted retry budget flips the facade into degraded
-        mode permanently (for this instance): a warning is emitted and
-        every subsequent batch — this one included — runs on the local
-        fallback evaluator against the configured store. Either path
-        yields bit-identical evaluations.
+        An exhausted retry budget (or a fleet with every breaker open)
+        flips the facade into degraded mode: a warning is emitted and
+        batches — this one included — run on the local fallback
+        evaluator against the configured store. A transport with
+        ``try_recover()`` (a :class:`~repro.serve.pool.ReplicaSet`)
+        un-degrades the facade as soon as a replica probe succeeds; a
+        plain :class:`Client` stays degraded for the rest of the run.
+        Either path yields bit-identical evaluations.
         """
+        if self.degraded:
+            self._maybe_recover()
         if not self.degraded:
             try:
                 evaluations, stats = self.client.evaluate(
@@ -396,14 +456,40 @@ class RemoteEvaluator:
                     "repro_client_fallbacks_total",
                     help="explorations degraded from served to local evaluation",
                 ).inc()
+                _metrics.counter(
+                    "repro_serve_degraded_total",
+                    help="degrade events: served evaluation fell back to local",
+                ).inc()
+                until = (
+                    "until a replica probe succeeds"
+                    if hasattr(self.client, "try_recover")
+                    else "for the rest of this run"
+                )
                 warnings.warn(
                     f"exploration server unreachable ({exc}); degrading to "
-                    "local evaluation for the rest of this run",
+                    f"local evaluation {until}",
                     ServeDegradedWarning,
                     stacklevel=2,
                 )
         self.fallback_batches += 1
         return self._local.evaluate(points)
+
+    def _maybe_recover(self) -> None:
+        """Un-degrade when the transport reports a replica came back."""
+        recover = getattr(self.client, "try_recover", None)
+        if recover is None or not recover():
+            return
+        self.degraded = False
+        self.recoveries += 1
+        _metrics.counter(
+            "repro_serve_recovered_total",
+            help="recover events: degraded evaluation returned to served",
+        ).inc()
+        warnings.warn(
+            "a replica probe succeeded; returning to served evaluation",
+            ServeRecoveredWarning,
+            stacklevel=3,
+        )
 
     def release_leases(self) -> int:
         return self._local.release_leases()

@@ -31,11 +31,20 @@ Robustness is the design center:
   teardown — then force-releases any lease still held and stops the
   listener. A ``kill -9`` instead of a drain leaves leases behind by
   construction; peers reclaim them after the lease TTL.
+* **Single-flight coalescing.** Concurrent ``/evaluate`` requests
+  whose canonical point sets overlap share one simulation pass per
+  point: the first request to claim a point becomes its *owner*, and
+  followers wait on the owner's flight instead of queuing a redundant
+  evaluation behind the work lock. Bit-identical either way (the store
+  would have deduplicated too — coalescing removes the wait, not just
+  the work); ``--no-coalesce`` turns it off.
 * **Injectable failures.** The handler announces the
-  ``serve_request`` / ``serve_response`` fault stages
-  (:mod:`repro.testing.faults`), so the whole client failure matrix —
-  connection refused, response hang, torn body, 5xx burst — is
-  exercised by the same harness that crash-tests pool workers.
+  ``serve_request`` / ``serve_response`` / ``serve_probe`` fault
+  stages (:mod:`repro.testing.faults`), scoped to this process's
+  ``replica_id``, so the whole client failure matrix — connection
+  refused, response hang, torn body, 5xx burst, a flapping or
+  SIGKILL'd fleet member — is exercised by the same harness that
+  crash-tests pool workers.
 """
 
 from __future__ import annotations
@@ -55,6 +64,21 @@ from repro.testing import faults
 
 #: Seconds a shedding response suggests the client wait before retrying.
 RETRY_AFTER_SECONDS = 1.0
+
+
+class _Flight:
+    """One in-flight simulation pass for a single canonical point.
+
+    The owning request sets :attr:`result` (or leaves it ``None`` on
+    failure) and then :attr:`done`; follower requests wait on
+    :attr:`done` instead of re-simulating the point.
+    """
+
+    __slots__ = ("done", "result")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result: Optional[Evaluation] = None
 
 
 def _count_request(route: str, status: int) -> None:
@@ -81,6 +105,13 @@ class ExploreService:
         max_queue: Most ``/evaluate`` requests admitted at once
             (the one being worked plus the ones queued behind it);
             requests beyond it are shed with 429.
+        coalesce: Single-flight concurrent requests whose canonical
+            point sets overlap (one simulation pass per point; the
+            default). ``False`` restores strict per-request evaluation.
+        replica_id: Identity of this serving process in a replica
+            fleet; matched against replica-scoped fault rules
+            (``repro serve --replica-id``). ``None`` matches only
+            unscoped rules.
     """
 
     def __init__(
@@ -93,6 +124,8 @@ class ExploreService:
         timeout: Optional[float] = None,
         heartbeat_interval: Optional[float] = None,
         max_queue: int = 8,
+        coalesce: bool = True,
+        replica_id: Optional[str] = None,
     ) -> None:
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
@@ -103,15 +136,23 @@ class ExploreService:
         self._timeout = timeout
         self._heartbeat_interval = heartbeat_interval
         self.max_queue = max_queue
+        self.coalesce = coalesce
+        self.replica_id = replica_id
         self._evaluators: Dict[Tuple[str, int, str], Evaluator] = {}
         self._evaluators_lock = threading.Lock()
         self._work_lock = threading.Lock()
         self._admission = threading.Condition()
         self._inflight = 0
         self._draining = False
+        self._flights: Dict[Tuple[str, int, str, str], _Flight] = {}
+        self._flights_lock = threading.Lock()
         _metrics.counter(
             "repro_serve_shed_total",
             help="evaluate requests shed with 429 (queue full)",
+        )
+        _metrics.counter(
+            "repro_serve_coalesced_total",
+            help="points answered from another request's in-flight evaluation",
         )
 
     # -- admission ------------------------------------------------------
@@ -200,10 +241,20 @@ class ExploreService:
     ) -> Tuple[List[Evaluation], Dict[str, int]]:
         """Evaluate one admitted batch; returns (evaluations, stat deltas).
 
-        Admitted requests serialize here: one warm evaluator works at a
-        time (it parallelizes internally across its worker processes),
-        and the stat delta unambiguously belongs to this request.
+        With coalescing on (the default), points already owned by a
+        concurrent request's flight are answered from that flight; only
+        the remainder is simulated here. Either way the simulation
+        itself serializes on the work lock (one warm evaluator works at
+        a time; it parallelizes internally across worker processes).
         """
+        if not self.coalesce:
+            return self._evaluate_serialized(kernel, width, engine, points)
+        return self._evaluate_coalesced(kernel, width, engine, points)
+
+    def _evaluate_serialized(
+        self, kernel: str, width: int, engine: str,
+        points: Sequence[Dict[str, object]],
+    ) -> Tuple[List[Evaluation], Dict[str, int]]:
         with self._work_lock:
             evaluator = self.evaluator_for(kernel, width, engine)
             before = evaluator.stats()
@@ -212,6 +263,95 @@ class ExploreService:
             after = evaluator.stats()
             delta = {name: after[name] - before[name] for name in after}
             return evaluations, delta
+
+    def _evaluate_coalesced(
+        self, kernel: str, width: int, engine: str,
+        points: Sequence[Dict[str, object]],
+    ) -> Tuple[List[Evaluation], Dict[str, int]]:
+        """Single-flight evaluation: one simulation pass per canonical
+        point across all concurrent requests.
+
+        The first request to see a canonical key registers a
+        :class:`_Flight` and *owns* that point: it simulates it (with
+        everything else it owns, in one serialized pass) and publishes
+        the result. Requests that arrive while the flight is open
+        *follow* it — they wait on the flight's event without touching
+        the work lock, so an overlapping batch costs a wait, not a
+        redundant queue slot. A follower whose owner failed re-enters
+        here for the stray points and becomes their owner.
+        """
+        evaluator = self.evaluator_for(kernel, width, engine)
+        spec = (kernel, width, engine)
+        # May raise ValueError on a malformed point: the caller's 400.
+        keys = [evaluator.canonical_key(point) for point in points]
+
+        owned_keys: Dict[str, int] = {}  # canonical key -> first index
+        followed: Dict[str, _Flight] = {}
+        with self._flights_lock:
+            for index, key in enumerate(keys):
+                if key in owned_keys or key in followed:
+                    continue  # batch-internal duplicate: one flight covers it
+                flight = self._flights.get(spec + (key,))
+                if flight is not None:
+                    followed[key] = flight
+                else:
+                    self._flights[spec + (key,)] = _Flight()
+                    owned_keys[key] = index
+
+        results: Dict[str, Evaluation] = {}
+        # Zero-filled so a pure-follower request still reports every
+        # counter (with simulations_run == 0, which is the point).
+        delta: Dict[str, int] = {name: 0 for name in evaluator.stats()}
+        try:
+            if owned_keys:
+                owned_points = [points[i] for i in owned_keys.values()]
+                evaluations, owned_delta = self._evaluate_serialized(
+                    kernel, width, engine, owned_points
+                )
+                for name, value in owned_delta.items():
+                    delta[name] = delta.get(name, 0) + value
+                for key, evaluation in zip(owned_keys, evaluations):
+                    results[key] = evaluation
+        finally:
+            # Publish before waiting on anyone else's flight (failure
+            # publishes result=None), so two requests that own points
+            # from each other's batches can never deadlock.
+            with self._flights_lock:
+                for key in owned_keys:
+                    flight = self._flights.pop(spec + (key,), None)
+                    if flight is not None:
+                        flight.result = results.get(key)
+                        flight.done.set()
+
+        coalesced = 0
+        for key, flight in followed.items():
+            flight.done.wait()
+            if flight.result is not None:
+                results[key] = flight.result
+                coalesced += 1
+            # else: the owner failed; fall through to stray recovery
+        if coalesced:
+            _metrics.counter("repro_serve_coalesced_total").inc(coalesced)
+
+        stray: Dict[str, int] = {}
+        for index, key in enumerate(keys):
+            if key not in results and key not in stray:
+                stray[key] = index
+        if stray:
+            # The failed flights are gone from the table, so this
+            # recursion claims ownership and actually evaluates (or
+            # raises the owner's error as our own).
+            stray_evals, stray_delta = self._evaluate_coalesced(
+                kernel, width, engine, [points[i] for i in stray.values()]
+            )
+            for key, evaluation in zip(stray, stray_evals):
+                results[key] = evaluation
+            for name, value in stray_delta.items():
+                delta[name] = delta.get(name, 0) + value
+
+        if coalesced:
+            delta["coalesced_points"] = delta.get("coalesced_points", 0) + coalesced
+        return [results[key] for key in keys], delta
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -259,6 +399,17 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(200, b'{"status":"ok"}\n')
             _count_request(route, 200)
         elif route == protocol.READY_PATH:
+            try:
+                faults.check("serve_probe", None, self.service.replica_id)
+            except faults.Refused:
+                self._refuse()
+                return
+            except Exception as exc:
+                self._send(503, protocol.encode_error(
+                    f"{type(exc).__name__}: {exc}"
+                ))
+                _count_request(route, 503)
+                return
             if self.service.draining:
                 self._send(503, protocol.encode_error("draining"))
                 _count_request(route, 503)
@@ -318,7 +469,7 @@ class _Handler(BaseHTTPRequestHandler):
             return None  # client went away mid-body; nothing to answer
         point0 = request["points"][0] if request["points"] else None
         try:
-            faults.check("serve_request", point0)
+            faults.check("serve_request", point0, self.service.replica_id)
         except faults.Refused:
             self._refuse()
             return None
@@ -361,14 +512,17 @@ class _Handler(BaseHTTPRequestHandler):
         finally:
             self.service.finish()
         try:
-            faults.check("serve_response", point0)
+            faults.check("serve_response", point0, self.service.replica_id)
         except faults.Refused:
             self._refuse()
             return None
         # A torn-response fault truncates the bytes on the wire while the
         # declared Content-Length still promises the full body — exactly
         # what a connection cut mid-flight looks like to the client.
-        sent = faults.mangle("serve_response", point0, payload.decode("utf-8"))
+        sent = faults.mangle(
+            "serve_response", point0, payload.decode("utf-8"),
+            self.service.replica_id,
+        )
         self._send(
             200, sent.encode("utf-8"), declared_length=len(payload)
         )

@@ -69,11 +69,16 @@ from typing import Dict, List, Optional, Tuple
 ENV_PLAN = "REPRO_FAULTS"
 ENV_STATE = "REPRO_FAULTS_DIR"
 
-#: Stages the production hooks announce. The ``serve_*`` pair are the
+#: Stages the production hooks announce. The ``serve_*`` trio are the
 #: exploration server's seams: ``serve_request`` fires after a request
 #: is parsed (refuse / hang / 5xx), ``serve_response`` just before the
-#: body is written (hang / torn).
-STAGES = ("evaluate", "store_put", "store_get", "serve_request", "serve_response")
+#: body is written (hang / torn), and ``serve_probe`` guards ``/readyz``
+#: so replica health probes can be failed independently of evaluation
+#: traffic (flapping-replica plans).
+STAGES = (
+    "evaluate", "store_put", "store_get",
+    "serve_request", "serve_response", "serve_probe",
+)
 
 
 class Refused(Exception):
@@ -90,6 +95,10 @@ class FaultRule:
         stage: Hook site the rule listens on (see :data:`STAGES`).
         match: Point items that must all be present for the rule to
             fire; ``{}`` matches every point (and ``None`` points).
+        replica: Replica identity the rule is scoped to (the serving
+            process's ``--replica-id``); ``None`` matches every replica.
+            One plan shared by a whole fleet can then take down exactly
+            one member — kill-one, flapping and slow-replica plans.
         times: Maximum number of firings (across all processes when a
             state directory is armed); ``None`` means unlimited.
         seconds: Sleep duration for ``hang``.
@@ -101,14 +110,20 @@ class FaultRule:
     mode: str
     stage: str = "evaluate"
     match: Dict[str, object] = field(default_factory=dict)
+    replica: Optional[str] = None
     times: Optional[int] = 1
     seconds: float = 0.0
     exc: str = "RuntimeError"
     message: str = "injected fault"
     exit_code: int = 17
 
-    def matches(self, stage: str, point: Optional[Dict]) -> bool:
+    def matches(
+        self, stage: str, point: Optional[Dict],
+        replica: Optional[str] = None,
+    ) -> bool:
         if stage != self.stage:
+            return False
+        if self.replica is not None and replica != self.replica:
             return False
         if not self.match:
             return True
@@ -121,6 +136,7 @@ class FaultRule:
             "mode": self.mode,
             "stage": self.stage,
             "match": self.match,
+            "replica": self.replica,
             "times": self.times,
             "seconds": self.seconds,
             "exc": self.exc,
@@ -222,7 +238,10 @@ def _fire(rule: FaultRule) -> None:
     raise ValueError(f"unknown fault mode {rule.mode!r}")
 
 
-def check(stage: str, point: Optional[Dict] = None) -> None:
+def check(
+    stage: str, point: Optional[Dict] = None,
+    replica: Optional[str] = None,
+) -> None:
     """Production hook: fire any armed rule matching (stage, point)."""
     plan = active_plan()
     if plan is None:
@@ -230,11 +249,14 @@ def check(stage: str, point: Optional[Dict] = None) -> None:
     for index, rule in enumerate(plan.rules):
         if rule.mode == "torn":
             continue
-        if rule.matches(stage, point) and plan._claim(index, rule):
+        if rule.matches(stage, point, replica) and plan._claim(index, rule):
             _fire(rule)
 
 
-def mangle(stage: str, point: Optional[Dict], payload: str) -> str:
+def mangle(
+    stage: str, point: Optional[Dict], payload: str,
+    replica: Optional[str] = None,
+) -> str:
     """Production hook: corrupt ``payload`` if a torn-write rule fires."""
     plan = active_plan()
     if plan is None:
@@ -242,6 +264,50 @@ def mangle(stage: str, point: Optional[Dict], payload: str) -> str:
     for index, rule in enumerate(plan.rules):
         if rule.mode != "torn":
             continue
-        if rule.matches(stage, point) and plan._claim(index, rule):
+        if rule.matches(stage, point, replica) and plan._claim(index, rule):
             return payload[: max(1, len(payload) // 2)]
     return payload
+
+
+def replica_plan(
+    kind: str,
+    replica: Optional[str] = None,
+    *,
+    times: Optional[int] = None,
+    seconds: float = 1.0,
+) -> FaultPlan:
+    """A canned replica-scoped fault plan for fleet tests.
+
+    Args:
+        kind: ``"kill-one"`` (the targeted replica ``os._exit``\\ s on
+            its next evaluate request — a SIGKILL mid-explore),
+            ``"flapping"`` (it refuses both evaluate requests and
+            ``/readyz`` probes, so breakers open and half-open probes
+            fail), or ``"slow-replica"`` (its responses hang for
+            ``seconds`` — the hedged-request scenario).
+        replica: Replica identity to scope the rules to (``None`` hits
+            every replica — only sensible for single-replica tests).
+        times: Fire budget per rule; defaults to 1 for ``kill-one`` and
+            unlimited for the others.
+        seconds: Hang duration for ``slow-replica``.
+    """
+    if kind == "kill-one":
+        rules = [FaultRule(
+            mode="exit", stage="serve_request", replica=replica,
+            times=1 if times is None else times,
+        )]
+    elif kind == "flapping":
+        rules = [
+            FaultRule(mode="refuse", stage="serve_request",
+                      replica=replica, times=times),
+            FaultRule(mode="refuse", stage="serve_probe",
+                      replica=replica, times=times),
+        ]
+    elif kind == "slow-replica":
+        rules = [FaultRule(
+            mode="hang", stage="serve_request", replica=replica,
+            times=times, seconds=seconds,
+        )]
+    else:
+        raise ValueError(f"unknown replica plan kind {kind!r}")
+    return FaultPlan(rules=rules)

@@ -114,3 +114,67 @@ class TestExploreServerFlag:
         out = capsys.readouterr().out
         assert "best" in out
         assert "degraded=1" in out  # the evaluator stats line
+
+
+class TestReplicaSetFlags:
+    def test_explore_help_lists_pool_knobs(self, capsys):
+        assert main(["explore", "--help"]) == 0
+        out = capsys.readouterr().out
+        for flag in ("--breaker-threshold", "--breaker-cooldown",
+                     "--hedge-after"):
+            assert flag in out
+
+    def test_serve_help_lists_fleet_knobs(self, capsys):
+        assert main(["serve", "--help"]) == 0
+        out = capsys.readouterr().out
+        for flag in ("--coalesce", "--no-coalesce", "--replica-id",
+                     "--port-file"):
+            assert flag in out
+
+    def test_server_flag_repeats_and_splits_commas(self):
+        ns = build_parser().parse_args([
+            "explore", "qrca-8",
+            "--server", "http://a:1,http://b:2",
+            "--server", "http://c:3",
+        ])
+        assert ns.server == ["http://a:1,http://b:2", "http://c:3"]
+
+    def test_serve_defaults(self):
+        ns = build_parser().parse_args(["serve"])
+        assert ns.coalesce is True
+        assert ns.replica_id is None
+        assert ns.port_file is None
+        ns = build_parser().parse_args(["serve", "--no-coalesce"])
+        assert ns.coalesce is False
+
+    def test_breaker_defaults(self):
+        ns = build_parser().parse_args(["explore", "qrca-8"])
+        assert ns.breaker_threshold == 3
+        assert ns.breaker_cooldown == 5.0
+        assert ns.hedge_after is None
+
+    def test_duplicate_replica_urls_exit_2(self, tmp_path, capsys):
+        assert main([
+            "explore", "qrca-8",
+            "--server", "http://127.0.0.1:9,http://127.0.0.1:9",
+            "--cache-dir", str(tmp_path),
+        ]) == 2
+        assert "duplicate" in capsys.readouterr().err
+
+    def test_dead_fleet_degrades_and_completes(self, tmp_path, capsys):
+        """Two dead replicas: the whole fleet is down, the exploration
+        still completes locally with exit 0."""
+        with pytest.warns(ServeDegradedWarning):
+            code = main([
+                "explore", "qrca-8", "--budget", "2",
+                "--server", "http://127.0.0.1:9",
+                "--server", "http://127.0.0.1:10",
+                "--server-timeout", "0.5",
+                "--server-retries", "0",
+                "--breaker-threshold", "1",
+                "--cache-dir", str(tmp_path),
+            ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best" in out
+        assert "degraded=1" in out

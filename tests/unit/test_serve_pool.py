@@ -1,0 +1,366 @@
+"""Unit tests for repro.serve.pool: breakers, failover, probes, hedging.
+
+Breaker timing runs against an injected fake clock (no sleeps); routing
+tests use real in-process servers plus dead sockets, with the fault
+harness armed in-process for replica-scoped failures.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.explore import Evaluator, ResultStore
+from repro.obs import metrics as _metrics
+from repro.serve import (
+    AllReplicasUnavailable,
+    CircuitBreaker,
+    Client,
+    ExploreServer,
+    ExploreService,
+    ReplicaSet,
+    RequestError,
+    ServerUnavailable,
+)
+from repro.serve.client import _retry_after
+from repro.serve.pool import CLOSED, HALF_OPEN, OPEN
+from repro.testing import faults
+from repro.testing.faults import FaultPlan, FaultRule, replica_plan
+from repro.util.backoff import Backoff
+
+POINTS = [
+    {"arch": "qla", "factory_area": area} for area in (40.0, 80.0, 120.0)
+]
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return Evaluator(kernel="qrca", width=8).evaluate(POINTS)
+
+
+def _dead_url() -> str:
+    """A URL nothing listens on (bound then released, refuses fast)."""
+    blocker = socket.socket()
+    blocker.bind(("127.0.0.1", 0))
+    _, port = blocker.getsockname()
+    blocker.close()
+    return f"http://127.0.0.1:{port}"
+
+
+def _server(tmp_path, name, *, store=None, replica_id=None):
+    store = store if store is not None else ResultStore(tmp_path / name)
+    service = ExploreService(store=store, max_queue=4, replica_id=replica_id)
+    server = ExploreServer(service)
+    server.start_background()
+    return server
+
+
+def _pool(urls, **kwargs):
+    kwargs.setdefault("retries", 0)
+    kwargs.setdefault("timeout", 5.0)
+    kwargs.setdefault("backoff", Backoff(base=0.0))
+    return ReplicaSet(urls, **kwargs)
+
+
+def _assert_identical(got, ref):
+    for have, want in zip(got, ref):
+        assert have.ok
+        assert have.result == want.result
+        assert have.total_area == want.total_area
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self, clock):
+        breaker = CircuitBreaker(clock=clock)
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_opens_after_consecutive_failures(self, clock):
+        breaker = CircuitBreaker(failure_threshold=3, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.opens == 1
+
+    def test_success_resets_the_failure_streak(self, clock):
+        breaker = CircuitBreaker(failure_threshold=2, clock=clock)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_open_after_cooldown_admits_one_probe(self, clock):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=5.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(4.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()  # the single probe slot
+        assert not breaker.allow()  # a second concurrent probe is refused
+
+    def test_failed_probe_reopens_and_restarts_cooldown(self, clock):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=5.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()  # the probe failed
+        assert breaker.state == OPEN
+        assert breaker.opens == 2
+        clock.advance(4.9)
+        assert not breaker.allow()  # cooldown restarted at the re-open
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+
+    def test_successful_probe_closes(self, clock):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=5.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_straggler_failure_while_open_is_ignored(self, clock):
+        breaker = CircuitBreaker(failure_threshold=1, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()  # e.g. a losing hedge reporting late
+        assert breaker.opens == 1
+
+    def test_bad_knobs_rejected(self, clock):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0, clock=clock)
+        with pytest.raises(ValueError, match="cooldown"):
+            CircuitBreaker(cooldown=0.0, clock=clock)
+
+    def test_state_exported_as_gauge(self, clock):
+        breaker = CircuitBreaker(
+            failure_threshold=1, name="http://x:1", clock=clock
+        )
+        gauge = _metrics.gauge("repro_pool_breaker_state", replica="http://x:1")
+        assert gauge.value == 0.0
+        breaker.record_failure()
+        assert gauge.value == 2.0
+        clock.advance(breaker.cooldown)
+        assert breaker.state == HALF_OPEN
+        assert gauge.value == 1.0
+
+
+class TestReplicaSetValidation:
+    def test_needs_at_least_one_server(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ReplicaSet([])
+
+    def test_rejects_duplicate_replicas(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ReplicaSet(["http://127.0.0.1:1", "http://127.0.0.1:1"])
+
+    @pytest.mark.parametrize("knob, value", [
+        ("deadline", 0.0), ("hedge_after", -1.0), ("probe_timeout", 0.0),
+    ])
+    def test_rejects_nonpositive_knobs(self, knob, value):
+        with pytest.raises(ValueError, match=knob):
+            ReplicaSet(["http://127.0.0.1:1"], **{knob: value})
+
+    def test_introspection(self):
+        pool = ReplicaSet(["http://127.0.0.1:1", "http://127.0.0.1:2"])
+        assert len(pool) == 2
+        assert pool.names == ["http://127.0.0.1:1", "http://127.0.0.1:2"]
+        assert pool.states() == {
+            "http://127.0.0.1:1": CLOSED, "http://127.0.0.1:2": CLOSED,
+        }
+        assert pool.breaker("http://127.0.0.1:2").state == CLOSED
+        with pytest.raises(KeyError):
+            pool.breaker("http://nope:1")
+
+    def test_accepts_prebuilt_clients(self):
+        client = Client("http://127.0.0.1:1")
+        pool = ReplicaSet([client])
+        assert pool.names == ["http://127.0.0.1:1"]
+
+
+class TestFailover:
+    def test_dead_first_replica_fails_over(self, tmp_path, reference):
+        server = _server(tmp_path, "b")
+        try:
+            pool = _pool([_dead_url(), server.url])
+            evaluations, stats = pool.evaluate("qrca", 8, POINTS)
+            _assert_identical(evaluations, reference)
+            assert stats["simulations_run"] == len(POINTS)
+            # One failure does not open the (threshold-3) breaker.
+            assert pool.states()[server.url] == CLOSED
+        finally:
+            server.shutdown(drain_timeout=5.0)
+
+    def test_whole_fleet_dead_raises_all_replicas_unavailable(self):
+        pool = _pool([_dead_url(), _dead_url()], timeout=1.0)
+        with pytest.raises(AllReplicasUnavailable) as excinfo:
+            pool.evaluate("qrca", 8, POINTS)
+        assert isinstance(excinfo.value, ServerUnavailable)
+
+    def test_open_breakers_refuse_without_network(self):
+        pool = _pool([_dead_url()], failure_threshold=1, cooldown=60.0)
+        with pytest.raises(AllReplicasUnavailable):
+            pool.evaluate("qrca", 8, POINTS)
+        assert pool.states() == {pool.names[0]: OPEN}
+        # Second call is refused locally by the open breaker.
+        with pytest.raises(AllReplicasUnavailable, match="open"):
+            pool.evaluate("qrca", 8, POINTS)
+
+    def test_terminal_4xx_never_fails_over(self, tmp_path):
+        server = _server(tmp_path, "b")
+        try:
+            pool = _pool([server.url, _dead_url()])
+            with pytest.raises(RequestError):
+                pool.evaluate("no-such-kernel", 8, POINTS)
+            # The replica answered; its breaker saw a success.
+            assert pool.states()[server.url] == CLOSED
+        finally:
+            server.shutdown(drain_timeout=5.0)
+
+    def test_deadline_shared_across_fleet(self, clock):
+        pool = ReplicaSet(
+            [_dead_url(), _dead_url()],
+            retries=0, backoff=Backoff(base=0.0),
+            deadline=10.0, clock=clock,
+        )
+
+        def call(replica, remaining):
+            # Each hop must see the *remaining* budget, not a fresh one.
+            seen.append(remaining)
+            clock.advance(6.0)
+            raise ServerUnavailable("down")
+
+        seen = []
+        with pytest.raises(AllReplicasUnavailable):
+            pool._route(call, clock() + 10.0)
+        assert seen[0] == pytest.approx(10.0)
+        assert len(seen) == 1 or seen[1] == pytest.approx(4.0)
+
+
+class TestRecoveryProbes:
+    def test_try_recover_true_while_any_breaker_closed(self):
+        pool = _pool([_dead_url()])
+        assert pool.try_recover()
+
+    def test_probe_closes_breaker_when_replica_returns(
+        self, tmp_path, clock, monkeypatch
+    ):
+        server = _server(tmp_path, "b", replica_id="b")
+        try:
+            pool = _pool(
+                [server.url], failure_threshold=1, cooldown=5.0, clock=clock
+            )
+            monkeypatch.setattr(
+                faults, "PLAN",
+                FaultPlan([FaultRule(
+                    mode="refuse", stage="serve_request",
+                    replica="b", times=None,
+                )]),
+            )
+            with pytest.raises(AllReplicasUnavailable):
+                pool.evaluate("qrca", 8, POINTS)
+            assert pool.states()[server.url] == OPEN
+            assert not pool.try_recover()  # still cooling down: no traffic
+            clock.advance(5.0)
+            assert pool.try_recover()  # half-open probe hits /readyz: up
+            assert pool.states()[server.url] == CLOSED
+        finally:
+            monkeypatch.setattr(faults, "PLAN", None)
+            server.shutdown(drain_timeout=5.0)
+
+    def test_failed_probe_reopens_breaker(self, tmp_path, clock, monkeypatch):
+        server = _server(tmp_path, "b", replica_id="b")
+        try:
+            pool = _pool(
+                [server.url], failure_threshold=1, cooldown=5.0, clock=clock
+            )
+            monkeypatch.setattr(
+                faults, "PLAN", replica_plan("flapping", "b")
+            )
+            with pytest.raises(AllReplicasUnavailable):
+                pool.evaluate("qrca", 8, POINTS)
+            clock.advance(5.0)
+            assert not pool.try_recover()  # probe refused: re-open
+            assert pool.states()[server.url] == OPEN
+            assert pool.breaker(server.url).opens == 2
+            monkeypatch.setattr(faults, "PLAN", None)
+            clock.advance(5.0)
+            assert pool.try_recover()
+            assert pool.states()[server.url] == CLOSED
+        finally:
+            monkeypatch.setattr(faults, "PLAN", None)
+            server.shutdown(drain_timeout=5.0)
+
+
+class TestHedging:
+    def test_hedge_wins_when_primary_hangs(
+        self, tmp_path, monkeypatch, reference
+    ):
+        store = ResultStore(tmp_path / "shared")
+        slow = _server(tmp_path, "slow", store=store, replica_id="slow")
+        fast = _server(tmp_path, "fast", store=store, replica_id="fast")
+        try:
+            monkeypatch.setattr(
+                faults, "PLAN",
+                replica_plan("slow-replica", "slow", seconds=3.0, times=None),
+            )
+            wins = _metrics.counter("repro_pool_hedge_wins_total").value
+            pool = _pool(
+                [slow.url, fast.url], timeout=10.0, hedge_after=0.2
+            )
+            evaluations, _ = pool.evaluate("qrca", 8, POINTS)
+            _assert_identical(evaluations, reference)
+            assert _metrics.counter("repro_pool_hedge_wins_total").value > wins
+        finally:
+            monkeypatch.setattr(faults, "PLAN", None)
+            fast.shutdown(drain_timeout=5.0)
+            slow.shutdown(drain_timeout=5.0)
+
+
+class TestRetryAfterParsing:
+    def test_delta_seconds(self):
+        assert _retry_after({"Retry-After": "2"}) == 2.0
+        assert _retry_after({"Retry-After": "0.5"}) == 0.5
+
+    def test_missing_header_uses_default(self):
+        assert _retry_after({}, default=1.5) == 1.5
+
+    def test_http_date_in_the_future(self):
+        import datetime
+        import email.utils
+
+        when = datetime.datetime.now(datetime.timezone.utc) + (
+            datetime.timedelta(seconds=30)
+        )
+        raw = email.utils.format_datetime(when, usegmt=True)
+        delay = _retry_after({"Retry-After": raw})
+        assert 25.0 < delay <= 30.0
+
+    def test_http_date_in_the_past_clamps_to_zero(self):
+        assert _retry_after(
+            {"Retry-After": "Wed, 21 Oct 2015 07:28:00 GMT"}
+        ) == 0.0
+
+    def test_garbage_uses_default(self):
+        assert _retry_after({"Retry-After": "soonish"}, default=2.5) == 2.5

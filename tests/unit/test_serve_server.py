@@ -274,3 +274,97 @@ class TestClientValidation:
     def test_bad_knobs_rejected(self, kwargs):
         with pytest.raises(ValueError):
             Client("http://127.0.0.1:1", **kwargs)
+
+
+class TestCoalescing:
+    """Single-flight coalescing, driven deterministically through the
+    service's flight table (no timing races)."""
+
+    def _service(self, tmp_path):
+        store = ResultStore(tmp_path / "coalesce-store")
+        return ExploreService(store=store, max_queue=4)
+
+    def test_follower_waits_and_reports_coalesced_points(self, tmp_path):
+        import threading
+
+        from repro.serve.server import _Flight
+
+        service = self._service(tmp_path)
+        evaluator = service.evaluator_for("qrca", 8, "compiled")
+        point = dict(POINTS[0])
+        key = ("qrca", 8, "compiled", evaluator.canonical_key(point))
+        flight = _Flight()
+        service._flights[key] = flight
+        outcome = {}
+
+        def follow():
+            evaluations, delta = service.evaluate(
+                "qrca", 8, "compiled", [point]
+            )
+            outcome["evaluations"] = evaluations
+            outcome["delta"] = delta
+
+        thread = threading.Thread(target=follow)
+        thread.start()
+        # The follower is parked on the flight; publish the owner's result.
+        published = evaluator.evaluate([point])[0]
+        flight.result = published
+        flight.done.set()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert outcome["evaluations"] == [published]
+        assert outcome["delta"]["coalesced_points"] == 1
+        assert outcome["delta"]["simulations_run"] == 0
+
+    def test_failed_owner_flight_is_recovered_by_follower(self, tmp_path):
+        import threading
+
+        from repro.serve.server import _Flight
+
+        service = self._service(tmp_path)
+        evaluator = service.evaluator_for("qrca", 8, "compiled")
+        point = dict(POINTS[1])
+        key = ("qrca", 8, "compiled", evaluator.canonical_key(point))
+        flight = _Flight()
+        service._flights[key] = flight
+        outcome = {}
+
+        def follow():
+            evaluations, delta = service.evaluate(
+                "qrca", 8, "compiled", [point]
+            )
+            outcome["evaluations"] = evaluations
+            outcome["delta"] = delta
+
+        thread = threading.Thread(target=follow)
+        thread.start()
+        # The owner dies without a result: followers must re-evaluate,
+        # not propagate the hole.
+        service._flights.pop(key)
+        flight.done.set()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert outcome["evaluations"][0].ok
+        assert outcome["delta"].get("coalesced_points", 0) == 0
+        assert (
+            outcome["delta"]["simulations_run"]
+            + outcome["delta"]["cache_hits"]
+        ) == 1
+
+    def test_duplicate_points_in_one_batch_share_a_flight(self, tmp_path):
+        service = self._service(tmp_path)
+        point = dict(POINTS[2])
+        evaluations, delta = service.evaluate(
+            "qrca", 8, "compiled", [point, dict(point)]
+        )
+        assert len(evaluations) == 2
+        assert evaluations[0].result == evaluations[1].result
+        assert delta["simulations_run"] == 1
+        assert not service._flights  # the table is drained afterwards
+
+    def test_no_coalesce_service_still_correct(self, tmp_path, reference):
+        store = ResultStore(tmp_path / "plain-store")
+        service = ExploreService(store=store, coalesce=False)
+        evaluations, delta = service.evaluate("qrca", 8, "compiled", POINTS)
+        assert_identical(evaluations, reference)
+        assert delta["simulations_run"] == len(POINTS)
