@@ -96,6 +96,7 @@ GATES: Sequence[Gate] = (
     Gate("cat7_protocol", "batched/scalar speedup", _field("speedup"), 0.30),
     Gate("steady_sweep", "batched/serial speedup", _field("speedup"), 0.30),
     Gate("qla_area_sweep", "batched/serial speedup", _field("speedup"), 0.30),
+    Gate("cqla_sweep", "batched/serial speedup", _field("speedup"), 0.30),
 )
 
 
@@ -127,13 +128,49 @@ class RatchetResult:
         return drop is None or drop <= self.limit(default_tolerance)
 
 
+def _entry_key(entry: Dict) -> Optional[tuple]:
+    """Identity of an entry for dedupe: name + metrics, ignoring the
+    recording timestamp and Python stamp."""
+    if not isinstance(entry, dict):
+        return None
+    return (
+        entry.get("name"),
+        json.dumps(entry.get("metrics"), sort_keys=True),
+    )
+
+
+def dedupe_trailing_batches(history: List[Dict]) -> List[Dict]:
+    """Drop trailing recording batches that exactly repeat the batch
+    before them (same names and metrics, timestamps ignored).
+
+    A double flush — e.g. a benchmark session rerun without clearing the
+    queue, or a file committed twice — appends an identical block and
+    would double-weight its values in the recent window. Repeatedly strip
+    the largest trailing block k whose (name, metrics) sequence equals
+    the preceding k entries; genuine re-measurements differ in their
+    timings and are kept.
+    """
+    entries = list(history)
+    stripped = True
+    while stripped:
+        stripped = False
+        keys = [_entry_key(entry) for entry in entries]
+        for k in range(len(entries) // 2, 0, -1):
+            if keys[-k:] == keys[-2 * k : -k]:
+                del entries[-k:]
+                stripped = True
+                break
+    return entries
+
+
 def load_history(path: Path) -> List[Dict]:
-    """The recorded trajectory, oldest first; missing/corrupt is empty."""
+    """The recorded trajectory, oldest first, with duplicate trailing
+    batches collapsed; missing/corrupt is empty."""
     try:
         loaded = json.loads(path.read_text())
     except (OSError, ValueError):
         return []
-    return loaded if isinstance(loaded, list) else []
+    return dedupe_trailing_batches(loaded) if isinstance(loaded, list) else []
 
 
 def check(

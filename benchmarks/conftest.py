@@ -15,8 +15,9 @@ perf code paths cannot silently rot):
   at smoke sizes.
 
 Perf benchmarks queue throughput numbers via :mod:`record`; the
-session-finish hook appends them to ``BENCH_protocols.json`` unless
-``REPRO_BENCH_RECORD=0``.
+session-finish hook appends them to ``BENCH_protocols.json`` only when
+``REPRO_BENCH_RECORD=1`` is set, so ordinary test runs leave the working
+tree clean.
 """
 
 import os
@@ -38,7 +39,7 @@ def pytest_configure(config):
 
 
 def pytest_sessionfinish(session, exitstatus):
-    if os.environ.get("REPRO_BENCH_RECORD", "1") != "0":
+    if os.environ.get("REPRO_BENCH_RECORD", "") == "1":
         path = bench_record.flush()
         if path is not None:
             print(f"\nbenchmark trajectory appended to {path}")

@@ -6,8 +6,9 @@ collected during the session as one batch appended to
 ``BENCH_protocols.json`` at the repo root. The file is a growing JSON
 list — one entry per recorded measurement, stamped with UTC time and the
 machine's Python — so future perf PRs can diff their numbers against the
-trajectory instead of re-deriving a baseline. Set ``REPRO_BENCH_RECORD=0``
-to disable flushing (CI smoke runs do, to keep workspaces clean).
+trajectory instead of re-deriving a baseline. Recording is opt-in: set
+``REPRO_BENCH_RECORD=1`` to flush; any other value (or none) leaves the
+working tree untouched.
 """
 
 from __future__ import annotations

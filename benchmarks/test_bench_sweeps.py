@@ -9,7 +9,9 @@ same supplies, asserts the acceptance gate (batched >= 10x at a
 records the trajectory to BENCH_protocols.json.
 
 A steady-rate sweep (the Figure 8 axis) carries the gate; the QLA
-dedicated-supply ladder (the Figure 15 axis) is recorded alongside it.
+dedicated-supply ladder and the CQLA cache-mode ladder (the Figure 15
+axes) are recorded alongside it — CQLA rides the program-order lockstep
+kernel and carries its own >= 8x acceptance gate at >= 64 points.
 With REPRO_PERF_SMOKE=1 (CI), the speedup gates are skipped and only
 exact equality is checked; REPRO_SWEEP_POINTS rescales the sweep width.
 """
@@ -22,7 +24,7 @@ import pytest
 
 import record as bench_record
 from repro.arch import simulate_batch
-from repro.arch.architectures import QlaConfig
+from repro.arch.architectures import CqlaConfig, QlaConfig
 from repro.arch.simulator import DataflowSimulator
 from repro.arch.supply import PI8, ZERO, SteadyRateSupply
 
@@ -187,3 +189,93 @@ def test_bench_qla_area_sweep_speedup(benchmark, qcla32):
     )
     if not PERF_SMOKE:
         assert speedup >= 5.0
+
+
+def test_bench_cqla_sweep_speedup(benchmark, qcla32):
+    """Figure 15's CQLA ladder rides the lockstep kernel: >= 8x at >= 64
+    points, bit-identical to the serial cache-mode engine."""
+    analysis = qcla32
+    circuit, tech = analysis.circuit, analysis.tech
+    compiled = analysis.compiled_circuit()
+    config = CqlaConfig()
+    num_qubits = circuit.num_qubits
+    areas = np.geomspace(50.0, 50_000.0, POINTS)
+    move_1q = config.movement_penalty(False, tech)
+    move_2q = config.movement_penalty(True, tech)
+
+    def supplies():
+        return [
+            config.build_supply(
+                area,
+                num_qubits,
+                analysis.zero_bandwidth_per_ms,
+                analysis.pi8_bandwidth_per_ms,
+                tech,
+            )
+            for area in areas
+        ]
+
+    simulate_batch(
+        circuit,
+        supplies()[:2],
+        tech,
+        movement_penalty_us=move_1q,
+        two_qubit_movement_penalty_us=move_2q,
+        cqla=config,
+        compiled=compiled,
+    )
+    rounds = iter([supplies() for _ in range(3)])
+    holder = {}
+
+    def run_batched():
+        holder["results"] = simulate_batch(
+            circuit,
+            next(rounds),
+            tech,
+            movement_penalty_us=move_1q,
+            two_qubit_movement_penalty_us=move_2q,
+            cqla=config,
+            compiled=compiled,
+        )
+
+    benchmark.pedantic(run_batched, rounds=3, iterations=1)
+    batched_s = benchmark.stats.stats.min
+    batched_results = holder["results"]
+    serial_supplies = supplies()
+    serial_s, serial_results = _timed(
+        lambda: [
+            DataflowSimulator(
+                circuit,
+                tech,
+                supply=supply,
+                movement_penalty_us=move_1q,
+                two_qubit_movement_penalty_us=move_2q,
+                cqla=config,
+                compiled=compiled,
+            ).run()
+            for supply in serial_supplies
+        ]
+    )
+    assert batched_results == serial_results  # exact equality, every field
+    assert any(r.cache_misses > 0 for r in batched_results)
+    batched_rate = POINTS / batched_s
+    serial_rate = POINTS / serial_s
+    speedup = batched_rate / serial_rate
+    benchmark.extra_info["speedup"] = speedup
+    bench_record.record(
+        "cqla_sweep",
+        points=POINTS,
+        gates=len(circuit),
+        batched_points_per_s=batched_rate,
+        serial_points_per_s=serial_rate,
+        speedup=speedup,
+    )
+    print()
+    print(
+        f"  CQLA sweep ({POINTS} pts x {len(circuit)} gates): "
+        f"serial {serial_rate:,.0f} pts/s, batched {batched_rate:,.0f} pts/s "
+        f"-> {speedup:.1f}x"
+    )
+    if not PERF_SMOKE:
+        assert POINTS >= 64
+        assert speedup >= 8.0

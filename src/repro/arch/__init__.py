@@ -15,7 +15,8 @@ Compares three ways of organizing a quantum chip (Figure 14):
 Modules:
 
 * :mod:`repro.arch.supply` — ancilla production models (infinite, steady
-  rate, pooled, per-qubit dedicated);
+  rate, pooled, per-qubit dedicated) and the declarative ready-spec
+  protocol that lets every model lower into the array engines;
 * :mod:`repro.arch.simulator` — the event-based dataflow simulator
   (Section 5.2's methodology);
 * :mod:`repro.arch.batched` — the point-batched engine: one numpy pass
@@ -38,10 +39,14 @@ from repro.arch.batched import simulate_batch
 from repro.arch.provisioning import AreaBreakdown, area_breakdown
 from repro.arch.simulator import DataflowSimulator, SimulationResult
 from repro.arch.supply import (
+    DedicatedKindSpec,
     DedicatedSupply,
     InfiniteSupply,
     PooledSupply,
+    ReadySpec,
+    SteadyKindSpec,
     SteadyRateSupply,
+    declared_ready_spec,
 )
 from repro.arch.sweep import area_sweep, throughput_sweep
 
@@ -50,16 +55,20 @@ __all__ = [
     "AreaBreakdown",
     "CqlaConfig",
     "DataflowSimulator",
+    "DedicatedKindSpec",
     "DedicatedSupply",
     "InfiniteSupply",
     "MultiplexedConfig",
     "PooledSupply",
     "QlaConfig",
+    "ReadySpec",
     "SimulationResult",
+    "SteadyKindSpec",
     "SteadyRateSupply",
     "architecture_for_area",
     "area_breakdown",
     "area_sweep",
+    "declared_ready_spec",
     "simulate_batch",
     "throughput_sweep",
 ]

@@ -15,60 +15,80 @@ across all points and all gates of the level at once.
 
 What batches, and why it stays bit-identical:
 
-* **Steady-rate supplies** (:class:`SteadyRateSupply` and its
-  :class:`PooledSupply` alias): availability is a pure function of gate
-  index, so a ``(points,)`` rate vector produces a ``(points, gates)``
-  ready matrix (:func:`steady_ready_matrix`) by one broadcast division —
-  the same division :func:`~repro.arch.simulator._steady_ready_times`
-  performs per point.
-* **Dedicated supplies** (the QLA model): consumption order per home
-  qubit is fixed by the gate sequence alone, so per-gate counter values
-  are precomputed home-qubit ranks and availability is again one
-  broadcast division (:func:`dedicated_ready_matrix`).
-* **Infinite supplies** constrain nothing; all such points share one
-  column of work.
+* **Any supply with a declarative ready spec**
+  (:func:`~repro.arch.supply.declared_ready_spec`): each kind's closed
+  form lowers to one broadcast division. Steady-rate kinds
+  (:class:`~repro.arch.supply.SteadyRateSupply` and its
+  :class:`~repro.arch.supply.PooledSupply` alias, or any custom spec
+  publisher) stack a ``(points,)`` rate vector into a
+  ``(points, gates)`` ready matrix (:func:`steady_ready_matrix`) — the
+  same division :func:`~repro.arch.simulator._steady_ready_times`
+  performs per point. Dedicated per-qubit kinds (the QLA model):
+  consumption order per home qubit is fixed by the gate sequence alone,
+  so per-gate counter values are precomputed home-qubit ranks and
+  availability is again one broadcast division
+  (:func:`dedicated_ready_matrix`). Supplies whose specs constrain
+  nothing (:class:`~repro.arch.supply.InfiniteSupply`, untracked kinds)
+  share one column of work.
+* **CQLA cache mode**: the LRU miss/eviction pattern depends only on the
+  operand sequence and cache size — never on time — so the per-gate
+  teleport-trip schedule is precomputed once per (circuit, cache size).
+  Port booking couples gates *within* a point (never across points), so
+  a program-order walk over a ``(points, ports)`` earliest-free matrix
+  replays every point's min-heap ``_PortBank`` exactly, vectorized
+  across the sweep (:func:`_run_cqla_lockstep`).
 
 Within a dependency level no two gates share a qubit (a shared qubit is a
 dependency edge) and no gate reads a classical bit written in its own
 level, so gathering all start times before scattering all finish times
 reproduces the serial engine's program-order walk exactly. Every
 floating-point operation keeps the serial evaluation order (max chains,
-then movement add, then supply max, then ``+ latency`` then ``+ qec``),
-which makes the batched results **bit-identical** to
-:meth:`DataflowSimulator.run` / :meth:`~DataflowSimulator.run_legacy` —
-the equivalence suite asserts exact float equality, not approximation.
+port-booking max/add, then movement add, then supply max, then
+``+ latency`` then ``+ qec``), which makes the batched results
+**bit-identical** to :meth:`DataflowSimulator.run` /
+:meth:`~DataflowSimulator.run_legacy` — the equivalence suite asserts
+exact float equality, not approximation.
 
-What falls back: CQLA cache mode (port booking couples start times
-across gates, so there is no closed point-parallel form) and custom
-:class:`AncillaSupply` implementations (arbitrary ``acquire`` must be
-queried gate by gate). :func:`simulate_batch` routes such points through
-a per-point :class:`DataflowSimulator` transparently — callers never
-need to pre-sort their supplies.
+What falls back: only supplies with no honored ready spec — custom
+:class:`AncillaSupply` implementations without ``ready_spec()``,
+subclasses that override availability/state methods without re-declaring
+their spec, and instance-level monkeypatches (see
+:func:`~repro.arch.supply.declared_ready_spec`). Setting
+``REPRO_FORCE_PER_POINT=1`` forces every point down the per-point path —
+a debugging escape hatch, reported via the ``forced`` span attribute.
+:func:`simulate_batch` routes fallback points through a per-point
+:class:`DataflowSimulator` transparently — callers never need to
+pre-sort their supplies — and reports the per-path point counts
+(``unconstrained`` / ``steady`` / ``dedicated`` / ``fallback``) on its
+``batched.simulate_batch`` span.
 """
 
 from __future__ import annotations
 
+import os
 import weakref
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.arch.architectures import CqlaConfig
+from repro.arch.architectures import CqlaConfig, teleport_latency
 from repro.arch.simulator import (
     ZEROS_PER_QEC,
     DataflowSimulator,
     SimulationResult,
+    _LruCache,
     movement_teleports,
-    supply_acquire_impl,
+    spec_kind_mode,
 )
 from repro.arch.supply import (
     PI8,
     ZERO,
     AncillaSupply,
-    DedicatedSupply,
-    InfiniteSupply,
-    SteadyRateSupply,
+    DedicatedKindSpec,
+    ReadySpec,
+    SteadyKindSpec,
+    declared_ready_spec,
 )
 from repro.circuits import Circuit
 from repro.circuits.compiled import (
@@ -219,6 +239,38 @@ def _batch_arrays(cc: CompiledCircuit) -> _BatchArrays:
 # Ready matrices: supply availability as (points, gates) lower bounds.
 
 
+def _steady_kind_rows(rates, consumed, seq):
+    """``(len(seq), points)`` ready rows for one pooled steady kind.
+
+    consumed == 0 for fresh supplies (every sweep point): the add
+    contributes nothing bit-exactly (0 + x == x), so skip it.
+    """
+    if consumed.any():
+        needed = seq[:, None] + consumed[None, :]
+    else:
+        needed = seq[:, None]
+    with np.errstate(divide="ignore"):
+        return needed / rates[None, :]
+
+
+def _dedicated_kind_rows(rates, consumed, home, rank):
+    """``(len(rank), points)`` ready rows for one per-qubit kind.
+
+    ``rates``/``consumed`` are ``(points, num_qubits)``; transposed to
+    (qubits, points) contiguous so home-row gathers are cheap. A
+    consumed matrix of zeros (fresh supplies) skips the add, which is
+    bit-exactly a no-op.
+    """
+    rates_t = np.ascontiguousarray(rates.T)
+    if consumed.any():
+        needed = np.ascontiguousarray(consumed.T)[home]
+        needed += rank[:, None]
+    else:
+        needed = rank[:, None]
+    with np.errstate(divide="ignore"):
+        return needed / rates_t[home]
+
+
 def steady_ready_matrix(
     cc: CompiledCircuit,
     zero_rates: Optional[np.ndarray],
@@ -244,24 +296,13 @@ def steady_ready_matrix(
     """
     ba = _batch_arrays(cc)
     points = len(zero_rates if zero_rates is not None else pi8_rates)
-
-    def per_kind(rates, consumed, seq):
-        # consumed == 0 for fresh supplies (every sweep point): the add
-        # contributes nothing bit-exactly (0 + x == x), so skip it.
-        if consumed.any():
-            needed = seq[:, None] + consumed[None, :]
-        else:
-            needed = seq[:, None]
-        with np.errstate(divide="ignore"):
-            return needed / rates[None, :]
-
     with _span("batched.ready_matrix", kind="steady", points=points,
                gates=cc.num_gates):
         ready = None
         if zero_rates is not None:
-            ready = per_kind(zero_rates, zero_consumed, ba.zero_seq)
+            ready = _steady_kind_rows(zero_rates, zero_consumed, ba.zero_seq)
         if pi8_rates is not None and cc.pi8_count:
-            pi8_ready = per_kind(pi8_rates, pi8_consumed, ba.pi8_seq)
+            pi8_ready = _steady_kind_rows(pi8_rates, pi8_consumed, ba.pi8_seq)
             if ready is None:
                 ready = np.zeros((cc.num_gates, points))
             index = cc.pi8_indices
@@ -293,29 +334,15 @@ def dedicated_ready_matrix(
     """
     ba = _batch_arrays(cc)
     points = len(zero_rates if zero_rates is not None else pi8_rates)
-
-    def per_kind(rates, consumed, home, rank):
-        # (qubits, points) contiguous so home-row gathers are cheap.
-        rates_t = np.ascontiguousarray(rates.T)
-        # consumed == 0 for fresh supplies (every sweep point): the add
-        # contributes nothing bit-exactly (0 + x == x), so skip it.
-        if consumed.any():
-            needed = np.ascontiguousarray(consumed.T)[home]
-            needed += rank[:, None]
-        else:
-            needed = rank[:, None]
-        with np.errstate(divide="ignore"):
-            return needed / rates_t[home]
-
     with _span("batched.ready_matrix", kind="dedicated", points=points,
                gates=cc.num_gates):
         ready = None
         if zero_rates is not None:
-            ready = per_kind(
+            ready = _dedicated_kind_rows(
                 zero_rates, zero_consumed, ba.home, ba.home_zero_rank
             )
         if pi8_rates is not None and cc.pi8_count:
-            pi8_ready = per_kind(
+            pi8_ready = _dedicated_kind_rows(
                 pi8_rates, pi8_consumed, ba.pi8_home, ba.home_pi8_rank
             )
             if ready is None:
@@ -325,6 +352,56 @@ def dedicated_ready_matrix(
     if ready is None:
         return None
     return ready if gate_major else ready.T
+
+
+def _spec_ready_matrix(
+    cc: CompiledCircuit,
+    signature: Tuple[Optional[str], Optional[str]],
+    specs: Sequence[ReadySpec],
+) -> Optional[np.ndarray]:
+    """Gate-major ready matrix for one lowering-signature group.
+
+    ``signature`` is the group's ``(zero_mode, pi8_mode)`` pair from
+    :func:`repro.arch.simulator.spec_kind_mode` — every spec in the
+    group lowers each kind the same way, so each kind is one stacked
+    broadcast division; kinds may mix modes freely (e.g. a steady zero
+    pool over dedicated pi/8 generators) because the per-gate constraint
+    is just the elementwise max of the kinds' rows, exactly the order
+    the serial loops apply them in.
+    """
+    ba = _batch_arrays(cc)
+    zero_mode, pi8_mode = signature
+    points = len(specs)
+
+    def stack(kind, mode, seq, home, rank):
+        kind_specs = [spec.kinds[kind] for spec in specs]
+        if mode == "steady":
+            return _steady_kind_rows(
+                np.array([k.rate_per_us for k in kind_specs]),
+                np.array([float(k.consumed) for k in kind_specs]),
+                seq,
+            )
+        return _dedicated_kind_rows(
+            np.array([k.rates_per_us for k in kind_specs], dtype=np.float64),
+            np.array([k.consumed for k in kind_specs], dtype=np.float64),
+            home,
+            rank,
+        )
+
+    with _span("batched.ready_matrix", kind=f"{zero_mode}/{pi8_mode}",
+               points=points, gates=cc.num_gates):
+        ready = None
+        if zero_mode is not None:
+            ready = stack(ZERO, zero_mode, ba.zero_seq, ba.home,
+                          ba.home_zero_rank)
+        if pi8_mode is not None and cc.pi8_count:
+            pi8_ready = stack(PI8, pi8_mode, ba.pi8_seq, ba.pi8_home,
+                              ba.home_pi8_rank)
+            if ready is None:
+                ready = np.zeros((cc.num_gates, points))
+            index = cc.pi8_indices
+            ready[index] = np.maximum(ready[index], pi8_ready)
+    return ready
 
 
 # ----------------------------------------------------------------------
@@ -391,20 +468,151 @@ def _run_levels_body(ba, nq, nb, points, movement, ready, qec):
 
 
 # ----------------------------------------------------------------------
+# CQLA: precomputed cache schedule + program-order lockstep kernel
+
+
+@dataclass(frozen=True, eq=False)
+class _CacheSchedule:
+    """Per-gate teleport-trip counts implied by LRU residency.
+
+    Which operands miss (and whether each miss evicts a resident qubit)
+    depends only on the operand sequence and the cache capacity — never
+    on gate timing — so the whole port-booking workload is a pure
+    function of (circuit, cache size), computed once and shared by every
+    point of every sweep.
+    """
+
+    trips: List[int]  # bookings gate i performs (0 for full hits)
+    misses: int
+    teleports: int  # total bookings == sum(trips)
+
+
+_SCHEDULE_CACHE: "weakref.WeakKeyDictionary[CompiledCircuit, Dict[int, _CacheSchedule]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _cache_schedule(cc: CompiledCircuit, cache_size: int) -> _CacheSchedule:
+    """Replay the LRU walk ``_run_cache`` performs, timing-free."""
+    per_cc = _SCHEDULE_CACHE.get(cc)
+    if per_cc is None:
+        per_cc = {}
+        _SCHEDULE_CACHE[cc] = per_cc
+    schedule = per_cc.get(cache_size)
+    if schedule is not None:
+        return schedule
+    cache = _LruCache(cache_size)
+    trips = [0] * cc.num_gates
+    misses = 0
+    total = 0
+    for i, (a, b, c) in enumerate(zip(cc.q0, cc.q1, cc.q2)):
+        q = a
+        while q >= 0:
+            if q in cache:
+                cache.touch(q)
+            else:
+                misses += 1
+                k = 1 + (1 if cache.touch(q) is not None else 0)
+                trips[i] += k
+                total += k
+            q = b if q == a else (c if q == b else -1)
+    schedule = _CacheSchedule(trips=trips, misses=misses, teleports=total)
+    per_cc[cache_size] = schedule
+    return schedule
+
+
+def _run_cqla_lockstep(
+    cc: CompiledCircuit,
+    points: int,
+    movement: Optional[np.ndarray],
+    ready: Optional[np.ndarray],
+    qec: float,
+    schedule: _CacheSchedule,
+    ports: int,
+    t_teleport: float,
+) -> np.ndarray:
+    """Execute ``points`` CQLA columns in one program-order walk.
+
+    Port booking makes start times order-sensitive *within* a point (a
+    booked gate delays later bookers), but points never interact — so
+    the serial min-heap ``_PortBank`` vectorizes into a
+    ``(points, ports)`` earliest-free matrix walked in program order:
+    per trip, each point books its earliest-free port (``argmin`` takes
+    the first minimum, matching the heap's ``(free, index)`` tie-break).
+    Level-order walking would be wrong here: bookings are not
+    commutative, and program order is the order both serial engines
+    book in. All other per-gate arithmetic replays the serial
+    ``_run_cache`` loop's exact operation order, so every column is
+    bit-identical to a serial run of that point.
+    """
+    nq, nb = cc.num_qubits, cc.num_bits
+    qubit_free = np.zeros((nq, points))
+    bits = np.zeros((nb, points))
+    port_free = np.zeros((points, ports))
+    rows = np.arange(points)
+    q0, q1, q2 = cc.q0, cc.q1, cc.q2
+    cond_id, result_id = cc.cond_id, cc.result_id
+    latency = cc.latency_us
+    trips = schedule.trips
+    move = movement.tolist() if movement is not None else None
+    maximum = np.maximum
+    with _span("batched.cqla_lockstep", points=points, gates=cc.num_gates,
+               ports=ports):
+        for i in range(cc.num_gates):
+            a = q0[i]
+            b = q1[i]
+            c = q2[i]
+            t = qubit_free[a].copy()
+            if b >= 0:
+                maximum(t, qubit_free[b], out=t)
+                if c >= 0:
+                    maximum(t, qubit_free[c], out=t)
+            cond = cond_id[i]
+            if cond >= 0:
+                maximum(t, bits[cond], out=t)
+            k = trips[i]
+            while k:
+                k -= 1
+                idx = port_free.argmin(axis=1)
+                maximum(t, port_free[rows, idx], out=t)
+                t += t_teleport
+                port_free[rows, idx] = t
+            if move is not None:
+                m = move[i]
+                if m:
+                    t += m
+            if ready is not None:
+                maximum(t, ready[i], out=t)
+            t += latency[i]
+            t += qec
+            qubit_free[a] = t
+            if b >= 0:
+                qubit_free[b] = t
+                if c >= 0:
+                    qubit_free[c] = t
+            r = result_id[i]
+            if r >= 0:
+                bits[r] = t
+    if nq == 0:
+        return np.zeros(points)
+    return qubit_free.max(axis=0)
+
+
+# ----------------------------------------------------------------------
 # Supply classification and the public batch entry point
 
 
-def _steady_signature(cc: CompiledCircuit, supply: SteadyRateSupply):
-    """Which kinds constrain this circuit: sub-batch grouping key."""
-    zero = supply.steady_state(ZERO) is not None
-    pi8 = supply.steady_state(PI8) is not None and cc.pi8_count > 0
-    return zero, pi8
+def _lowering_signature(cc: CompiledCircuit, spec: ReadySpec):
+    """``(zero_mode, pi8_mode)`` grouping key for one point's spec.
 
-
-def _dedicated_signature(cc: CompiledCircuit, supply: DedicatedSupply):
-    zero = supply.dedicated_state(ZERO) is not None
-    pi8 = supply.dedicated_state(PI8) is not None and cc.pi8_count > 0
-    return zero, pi8
+    Modes are :func:`spec_kind_mode` strings; a kind irrelevant to this
+    circuit (untracked, or pi/8 with no pi/8 gates) is None. Points with
+    equal signatures lower each kind the same way and share one ready
+    matrix; ``(None, None)`` points are unconstrained.
+    """
+    zero_mode = spec_kind_mode(spec.kind(ZERO))
+    pi8_mode = spec_kind_mode(spec.kind(PI8)) if cc.pi8_count else None
+    return zero_mode, pi8_mode
 
 
 def simulate_batch(
@@ -421,18 +629,19 @@ def simulate_batch(
 
     Every point shares the circuit, technology, movement penalties and
     (optional) CQLA configuration; points differ only in their ancilla
-    supply — exactly the shape of a Figure 8 / Figure 15 sweep axis.
-    Results are **bit-identical** to running
+    supply — exactly the shape of a Figure 8 / Figure 15 / Figure 16
+    sweep axis. Results are **bit-identical** to running
     ``DataflowSimulator(...).run()`` per point, including the observable
     supply state afterwards (steady and dedicated counters advance by
     the same amounts).
 
-    Recognized supply models (:class:`InfiniteSupply`,
-    :class:`SteadyRateSupply`/:class:`PooledSupply`,
-    :class:`DedicatedSupply` — exact ``acquire``, no overrides) execute
-    through the level-vectorized kernel; anything else, and every point
-    when ``cqla`` is given, falls back to a per-point serial simulator
-    transparently.
+    Any supply with an honored declarative ready spec
+    (:func:`~repro.arch.supply.declared_ready_spec` — the built-in
+    models and any custom publisher) executes through the vectorized
+    kernels, including under ``cqla``; only spec-less or
+    override-disqualified supplies fall back to a per-point serial
+    simulator, transparently. ``REPRO_FORCE_PER_POINT=1`` forces the
+    per-point path for debugging.
     """
     with _span("batched.simulate_batch", points=len(supplies)) as sp:
         return _simulate_batch(
@@ -465,8 +674,6 @@ def _simulate_batch(
 
     if not supplies:
         return []
-    if cqla is not None:
-        return [fallback(supply) for supply in supplies]
     probe = DataflowSimulator(
         circuit,
         tech,
@@ -494,47 +701,64 @@ def _simulate_batch(
         table[MOVE_TWO_QUBIT] = move_2q
         movement = table[_batch_arrays(cc).move_kind]
 
+    schedule: Optional[_CacheSchedule] = None
+    t_teleport = 0.0
+    if cqla is not None:
+        schedule = _cache_schedule(cc, cqla.cache_size(cc.num_qubits))
+        t_teleport = teleport_latency(tech)
+
     def result(makespan: float) -> SimulationResult:
+        if schedule is None:
+            misses = 0
+            total_teleports = teleports
+        else:
+            misses = schedule.misses
+            total_teleports = teleports + schedule.teleports
         return SimulationResult(
             makespan_us=float(makespan),
             gates=n,
             zero_ancillae_consumed=ZEROS_PER_QEC * n,
             pi8_ancillae_consumed=cc.pi8_count,
-            cache_misses=0,
-            teleports=teleports,
+            cache_misses=misses,
+            teleports=total_teleports,
         )
 
+    forced = os.environ.get("REPRO_FORCE_PER_POINT", "") == "1"
     out: List[Optional[SimulationResult]] = [None] * len(supplies)
-    # Group batchable points by sub-batch signature so each group shares
+    # Group lowerable points by lowering signature so each group shares
     # one ready matrix (mixed tracked/untracked kinds cannot).
     unconstrained: List[int] = []
-    steady_groups: dict = {}
-    dedicated_groups: dict = {}
+    groups: Dict[tuple, List[int]] = {}
+    specs: List[Optional[ReadySpec]] = [None] * len(supplies)
     for i, supply in enumerate(supplies):
-        impl = supply_acquire_impl(supply)
-        if impl is InfiniteSupply.acquire:
-            unconstrained.append(i)
-        elif impl is SteadyRateSupply.acquire:
-            signature = _steady_signature(cc, supply)
-            if signature == (False, False):
-                unconstrained.append(i)
-            else:
-                steady_groups.setdefault(signature, []).append(i)
-        elif impl is DedicatedSupply.acquire:
-            signature = _dedicated_signature(cc, supply)
-            if signature == (False, False):
-                unconstrained.append(i)
-            else:
-                dedicated_groups.setdefault(signature, []).append(i)
-        else:
+        spec = None if forced else declared_ready_spec(supply)
+        if spec is None:
             out[i] = fallback(supply)
+            continue
+        signature = _lowering_signature(cc, spec)
+        if "unknown" in signature:
+            # A spec type this engine cannot lower — treat like any
+            # custom supply.
+            out[i] = fallback(supply)
+            continue
+        specs[i] = spec
+        if signature == (None, None):
+            unconstrained.append(i)
+        else:
+            groups.setdefault(signature, []).append(i)
     # Per-group point counts on the batch span: how much of the sweep
-    # took the vectorized path vs the per-point fallback.
+    # took the vectorized path vs the per-point fallback. The paper
+    # sweeps (Figures 8/15/16) assert fallback == 0 on this attribute.
     sp.set(
         unconstrained=len(unconstrained),
-        steady=sum(len(v) for v in steady_groups.values()),
-        dedicated=sum(len(v) for v in dedicated_groups.values()),
+        steady=sum(
+            len(v) for sig, v in groups.items() if "dedicated" not in sig
+        ),
+        dedicated=sum(
+            len(v) for sig, v in groups.items() if "dedicated" in sig
+        ),
         fallback=sum(1 for r in out if r is not None),
+        forced=forced,
     )
 
     # An aliased supply object at several constrained points cannot be
@@ -543,78 +767,59 @@ def _simulate_batch(
     # state once. Fail loud rather than silently diverge. (Stateless /
     # unconstrained duplicates are harmless; per-point fallbacks replay
     # state sequentially in index order, like a serial loop.)
-    seen_ids: dict = {}
-    for group in (steady_groups, dedicated_groups):
-        for indices in group.values():
-            for i in indices:
-                j = seen_ids.setdefault(id(supplies[i]), i)
-                if j != i:
-                    raise ValueError(
-                        f"supplies[{j}] and supplies[{i}] are the same "
-                        "object; rate-limited supplies must be distinct "
-                        "per point (consumption state cannot be shared "
-                        "within one batch)"
-                    )
+    seen_ids: Dict[int, int] = {}
+    for indices in groups.values():
+        for i in indices:
+            j = seen_ids.setdefault(id(supplies[i]), i)
+            if j != i:
+                raise ValueError(
+                    f"supplies[{j}] and supplies[{i}] are the same "
+                    "object; rate-limited supplies must be distinct "
+                    "per point (consumption state cannot be shared "
+                    "within one batch)"
+                )
+
+    ba = _batch_arrays(cc)
 
     def advance(index: int) -> None:
+        # Commit exactly what a per-gate acquire walk would have
+        # recorded, per the point's declared spec: aggregate counts for
+        # steady kinds, per-home totals for dedicated kinds. (advance /
+        # advance_per_qubit skip zero-rate counters internally, matching
+        # acquire's return-inf-without-recording behavior.)
         supply = supplies[index]
-        if isinstance(supply, SteadyRateSupply):
+        spec = specs[index]
+        zero_spec = spec.kind(ZERO)
+        if isinstance(zero_spec, SteadyKindSpec):
             supply.advance(ZERO, ZEROS_PER_QEC * n)
-            supply.advance(PI8, cc.pi8_count)
-        elif isinstance(supply, DedicatedSupply):
-            ba = _batch_arrays(cc)
+        elif isinstance(zero_spec, DedicatedKindSpec):
             supply.advance_per_qubit(ZERO, ba.zero_home_totals)
+        pi8_spec = spec.kind(PI8)
+        if isinstance(pi8_spec, SteadyKindSpec):
+            supply.advance(PI8, cc.pi8_count)
+        elif isinstance(pi8_spec, DedicatedKindSpec):
             supply.advance_per_qubit(PI8, ba.pi8_home_totals)
+
+    def run_group(count: int, ready: Optional[np.ndarray]) -> np.ndarray:
+        if schedule is None:
+            return _run_levels(cc, count, movement, ready, qec)
+        return _run_cqla_lockstep(
+            cc, count, movement, ready, qec, schedule, cqla.ports,
+            t_teleport,
+        )
 
     if unconstrained:
         # All such points produce identical results: one column suffices.
-        makespan = _run_levels(cc, 1, movement, None, qec)[0]
+        makespan = run_group(1, None)[0]
         for i in unconstrained:
             out[i] = result(makespan)
             advance(i)
 
-    for (track_zero, track_pi8), indices in steady_groups.items():
-        states = [
-            (
-                supplies[i].steady_state(ZERO) if track_zero else None,
-                supplies[i].steady_state(PI8) if track_pi8 else None,
-            )
-            for i in indices
-        ]
-        ready = steady_ready_matrix(
-            cc,
-            np.array([s[0][0] for s in states]) if track_zero else None,
-            np.array([float(s[0][1]) for s in states]) if track_zero else None,
-            np.array([s[1][0] for s in states]) if track_pi8 else None,
-            np.array([float(s[1][1]) for s in states]) if track_pi8 else None,
-            gate_major=True,
+    for signature, indices in groups.items():
+        ready = _spec_ready_matrix(
+            cc, signature, [specs[i] for i in indices]
         )
-        makespans = _run_levels(cc, len(indices), movement, ready, qec)
-        for i, makespan in zip(indices, makespans):
-            out[i] = result(makespan)
-            advance(i)
-
-    for (track_zero, track_pi8), indices in dedicated_groups.items():
-        states = [
-            (
-                supplies[i].dedicated_state(ZERO) if track_zero else None,
-                supplies[i].dedicated_state(PI8) if track_pi8 else None,
-            )
-            for i in indices
-        ]
-        ready = dedicated_ready_matrix(
-            cc,
-            np.array([s[0][0] for s in states]) if track_zero else None,
-            np.array([s[0][1] for s in states], dtype=np.float64)
-            if track_zero
-            else None,
-            np.array([s[1][0] for s in states]) if track_pi8 else None,
-            np.array([s[1][1] for s in states], dtype=np.float64)
-            if track_pi8
-            else None,
-            gate_major=True,
-        )
-        makespans = _run_levels(cc, len(indices), movement, ready, qec)
+        makespans = run_group(len(indices), ready)
         for i, makespan in zip(indices, makespans):
             out[i] = result(makespan)
             advance(i)

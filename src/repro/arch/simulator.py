@@ -18,12 +18,15 @@ Two engines execute this model:
 
 * :meth:`DataflowSimulator.run` — the production engine. It consumes the
   struct-of-arrays :class:`~repro.circuits.compiled.CompiledCircuit`
-  form, allocates no per-gate objects, and short-circuits
-  :class:`~repro.arch.supply.SteadyRateSupply` queries through their
-  closed form (the k-th ancilla exists at ``k / rate``), evaluated for
-  the whole circuit in one vectorized pass. It is bit-identical to the
-  reference loop — the equivalence test suite asserts exact equality of
-  every :class:`SimulationResult` field across kernels and supplies.
+  form, allocates no per-gate objects, and lowers any supply that
+  publishes a declarative ready-time description
+  (:func:`~repro.arch.supply.declared_ready_spec`) through its closed
+  form — steady-rate kinds (the k-th ancilla exists at ``k / rate``)
+  evaluate for the whole circuit in one vectorized pass, dedicated
+  per-qubit kinds through the inlined counter loop. It is bit-identical
+  to the reference loop — the equivalence test suite asserts exact
+  equality of every :class:`SimulationResult` field across kernels and
+  supplies.
 * :meth:`DataflowSimulator.run_legacy` — the original per-gate-object
   reference loop, kept as the executable specification the compiled
   engine is validated against.
@@ -56,9 +59,11 @@ from repro.arch.supply import (
     PI8,
     ZERO,
     AncillaSupply,
-    DedicatedSupply,
+    DedicatedKindSpec,
     InfiniteSupply,
+    SteadyKindSpec,
     SteadyRateSupply,
+    declared_ready_spec,
 )
 from repro.circuits import Circuit
 from repro.circuits.compiled import CompiledCircuit, compile_circuit
@@ -141,19 +146,20 @@ class _PortBank:
         return end
 
 
-def supply_acquire_impl(supply: AncillaSupply):
-    """The supply's class-level ``acquire``, or None when overridden.
+def spec_kind_mode(kind_spec) -> Optional[str]:
+    """Lowering class of one kind's declarative spec.
 
-    The engine-dispatch rule both the serial and the point-batched
-    engines share: recognized models (exact, un-overridden ``acquire``)
-    get allocation-free fast paths; anything else — a custom
-    :class:`AncillaSupply`, a subclass overriding ``acquire``, or an
-    instance-level monkeypatch — is queried per gate like the reference
-    loop.
+    ``None`` (unconstrained), ``"steady"``, ``"dedicated"``, or
+    ``"unknown"`` for a foreign spec type neither engine can lower —
+    callers must route unknown specs through per-gate ``acquire``.
     """
-    if "acquire" in getattr(supply, "__dict__", {}):
+    if kind_spec is None:
         return None
-    return type(supply).acquire
+    if isinstance(kind_spec, SteadyKindSpec):
+        return "steady"
+    if isinstance(kind_spec, DedicatedKindSpec):
+        return "dedicated"
+    return "unknown"
 
 
 def movement_teleports(
@@ -258,23 +264,45 @@ class DataflowSimulator:
             if move_1q or move_2q:
                 table = (0.0, move_1q, move_2q)
                 movement = [table[k] for k in cc.move_kind]
-            acquire_impl = supply_acquire_impl(supply)
+            spec = declared_ready_spec(supply)
             supply_ready: Optional[List[float]] = None
-            steady: Optional[SteadyRateSupply] = None
-            dedicated: Optional[DedicatedSupply] = None
+            zero_spec = pi8_spec = None
+            dedicated = False
             generic = None
-            if acquire_impl is InfiniteSupply.acquire:
-                pass
-            elif acquire_impl is SteadyRateSupply.acquire:
-                steady = supply
-                # The list companion of the memoized ready vector: the
-                # serial loops iterate it element by element, and plain
-                # floats are ~2x faster there than np.float64 scalars.
-                supply_ready = _steady_ready_entry(cc, steady)[1]
-            elif acquire_impl is DedicatedSupply.acquire and self.cqla is None:
-                dedicated = supply
-            else:
+            if spec is None:
                 generic = supply.acquire
+            else:
+                zero_spec = spec.kind(ZERO)
+                pi8_spec = spec.kind(PI8)
+                zero_mode = spec_kind_mode(zero_spec)
+                pi8_mode = spec_kind_mode(pi8_spec)
+                modes = {zero_mode, pi8_mode}
+                if "unknown" in modes:
+                    # A spec type this engine cannot lower: per-gate
+                    # acquire threads state exactly, like any custom
+                    # supply.
+                    generic = supply.acquire
+                    spec = None
+                elif "dedicated" in modes and (
+                    self.cqla is not None or "steady" in modes
+                ):
+                    # Per-gate acquire keeps home-qubit counters exact
+                    # under cache reordering concerns and mixed
+                    # steady/dedicated kinds; state advances in place.
+                    generic = supply.acquire
+                    spec = None
+                elif "dedicated" in modes:
+                    dedicated = True
+                else:
+                    # Steady and/or unconstrained kinds: the whole
+                    # circuit's ready times in one closed form. The list
+                    # companion of the memoized ready vector: the serial
+                    # loops iterate it element by element, and plain
+                    # floats are ~2x faster there than np.float64
+                    # scalars.
+                    supply_ready = _steady_ready_entry(
+                        cc, zero_spec, pi8_spec
+                    )[1]
         with _span("simulate.level_walk", gates=n):
             if self.cqla is not None:
                 makespan, misses, cache_teleports = _run_cache(
@@ -282,8 +310,9 @@ class DataflowSimulator:
                     qec
                 )
                 teleports += cache_teleports
-            elif dedicated is not None:
-                makespan = _run_dedicated(cc, movement, dedicated, qec)
+            elif dedicated:
+                makespan = _run_dedicated(cc, movement, zero_spec, pi8_spec,
+                                          qec)
                 misses = 0
             elif generic is not None:
                 makespan = _run_generic(cc, movement, generic, qec)
@@ -291,10 +320,18 @@ class DataflowSimulator:
             else:
                 makespan = _run_flat(cc, movement, supply_ready, qec)
                 misses = 0
-        if steady is not None:
-            with _span("simulate.supply_advance"):
-                steady.advance(ZERO, ZEROS_PER_QEC * n)
-                steady.advance(PI8, cc.pi8_count)
+        if spec is not None and not dedicated:
+            # Commit the aggregate consumption the lowered run skipped
+            # (dedicated lowering mutates the spec's live lists in
+            # place, so only steady kinds need an explicit commit).
+            advance_zero = isinstance(zero_spec, SteadyKindSpec)
+            advance_pi8 = isinstance(pi8_spec, SteadyKindSpec)
+            if advance_zero or advance_pi8:
+                with _span("simulate.supply_advance"):
+                    if advance_zero:
+                        supply.advance(ZERO, ZEROS_PER_QEC * n)
+                    if advance_pi8:
+                        supply.advance(PI8, cc.pi8_count)
         return SimulationResult(
             makespan_us=float(makespan),
             gates=n,
@@ -409,24 +446,27 @@ _ReadyEntry = Tuple[Optional[np.ndarray], Optional[List[float]]]
 
 
 def _steady_ready_entry(
-    cc: CompiledCircuit, supply: SteadyRateSupply
+    cc: CompiledCircuit,
+    zero: Optional[SteadyKindSpec],
+    pi8: Optional[SteadyKindSpec],
 ) -> _ReadyEntry:
-    """Memoized ``(ndarray, list)`` ready-vector pair for this supply.
+    """Memoized ``(ndarray, list)`` ready-vector pair for steady specs.
 
     Consumption order under the reference loop is program order (two
     zeros per gate, one pi/8 per T-type gate), so the time the i-th
     gate's ancillae exist is a pure function of i — computed here for
-    the whole circuit in one vectorized pass. A zero-rate kind yields
-    infinity (matching ``_RateCounter.acquire``); an untracked kind
-    contributes no constraint. Returns ``(None, None)`` when the supply
-    never constrains this circuit.
+    the whole circuit in one vectorized pass from the kinds' declarative
+    :class:`SteadyKindSpec` forms. A zero-rate kind yields infinity
+    (matching ``_RateCounter.acquire``); an unconstrained kind (None)
+    contributes no constraint. Returns ``(None, None)`` when no kind
+    constrains this circuit.
     """
     n = cc.num_gates
     fingerprint = (
-        supply.rate_per_us(ZERO),
-        supply.consumed_so_far(ZERO),
-        supply.rate_per_us(PI8),
-        supply.consumed_so_far(PI8),
+        zero.rate_per_us if zero is not None else None,
+        zero.consumed if zero is not None else 0,
+        pi8.rate_per_us if pi8 is not None else None,
+        pi8.consumed if pi8 is not None else 0,
     )
     per_cc = _READY_CACHE.get(cc)
     if per_cc is None:
@@ -437,24 +477,22 @@ def _steady_ready_entry(
         return per_cc[fingerprint]
     with _span("simulate.ready_vector", gates=n):
         ready = None
-        zero_rate = supply.rate_per_us(ZERO)
-        if zero_rate is not None:
-            if zero_rate == 0.0:
+        if zero is not None:
+            if zero.rate_per_us == 0.0:
                 ready = np.full(n, np.inf)
             else:
-                consumed = supply.consumed_so_far(ZERO) + (
+                consumed = zero.consumed + (
                     ZEROS_PER_QEC * np.arange(1, n + 1, dtype=np.float64)
                 )
-                ready = consumed / zero_rate
-        pi8_rate = supply.rate_per_us(PI8)
-        if pi8_rate is not None and cc.pi8_count:
-            if pi8_rate == 0.0:
+                ready = consumed / zero.rate_per_us
+        if pi8 is not None and cc.pi8_count:
+            if pi8.rate_per_us == 0.0:
                 pi8_ready = np.full(cc.pi8_count, np.inf)
             else:
-                consumed = supply.consumed_so_far(PI8) + np.arange(
+                consumed = pi8.consumed + np.arange(
                     1, cc.pi8_count + 1, dtype=np.float64
                 )
-                pi8_ready = consumed / pi8_rate
+                pi8_ready = consumed / pi8.rate_per_us
             if ready is None:
                 ready = np.zeros(n)
             index = cc.pi8_indices
@@ -480,7 +518,8 @@ def _steady_ready_times(
     ``(circuit, rates-fingerprint)`` returns the identical read-only
     array. ``None`` when the supply never constrains this circuit.
     """
-    return _steady_ready_entry(cc, supply)[0]
+    spec = supply.ready_spec()
+    return _steady_ready_entry(cc, spec.kind(ZERO), spec.kind(PI8))[0]
 
 
 def _run_flat(
@@ -535,12 +574,13 @@ def _run_flat(
 def _run_dedicated(
     cc: CompiledCircuit,
     movement: Optional[List[float]],
-    supply: DedicatedSupply,
+    zero: Optional[DedicatedKindSpec],
+    pi8_spec: Optional[DedicatedKindSpec],
     qec: float,
 ) -> float:
     """Hot loop for per-qubit dedicated generators (the QLA model).
 
-    Counter arithmetic is inlined over the supply's live rate/consumed
+    Counter arithmetic is inlined over the specs' live rate/consumed
     lists (mutated in place, so observable state matches a per-gate
     ``acquire`` walk): availability depends on the consuming gate's home
     qubit, so there is no closed form over gate index alone.
@@ -548,10 +588,10 @@ def _run_dedicated(
     qubit_free = [0.0] * cc.num_qubits
     bits = [0.0] * cc.num_bits
     move_iter = movement if movement is not None else repeat(0.0)
-    zero_state = supply.dedicated_state(ZERO)
-    pi8_state = supply.dedicated_state(PI8)
-    zero_rates, zero_consumed = zero_state if zero_state else (None, None)
-    pi8_rates, pi8_consumed = pi8_state if pi8_state else (None, None)
+    zero_rates = zero.rates_per_us if zero is not None else None
+    zero_consumed = zero.consumed if zero is not None else None
+    pi8_rates = pi8_spec.rates_per_us if pi8_spec is not None else None
+    pi8_consumed = pi8_spec.consumed if pi8_spec is not None else None
     for a, b, c, cond, move, pi8, latency, result in zip(
         cc.q0, cc.q1, cc.q2, cc.cond_id, move_iter, cc.pi8_flag,
         cc.latency_us, cc.result_id,

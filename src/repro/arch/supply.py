@@ -9,14 +9,74 @@ in Figure 8.
 
 Kinds are the two the paper tracks: "zero" (corrected encoded zeros for
 QEC) and "pi8" (encoded pi/8 ancillae for non-transversal gates).
+
+Every supply also *describes* its availability math declaratively via
+:meth:`ready_spec`: a :class:`ReadySpec` mapping each tracked kind to a
+closed-form ready-time description (steady-rate counter or per-qubit
+dedicated counters; untracked kinds are unconstrained). The compiled and
+point-batched dataflow engines lower that description into array kernels
+instead of calling :meth:`acquire` per gate — see
+:func:`declared_ready_spec` for the opt-in rules that keep overridden
+subclasses off the lowered path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Protocol, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Protocol, Tuple, Union
 
 ZERO = "zero"
 PI8 = "pi8"
+
+
+@dataclass(frozen=True)
+class SteadyKindSpec:
+    """Closed form for one globally-pooled FIFO counter.
+
+    The k-th ancilla (1-based, counting from ``consumed``) exists at
+    ``(consumed + k) / rate_per_us``; a zero rate means the kind never
+    becomes available (and, matching :class:`_RateCounter`, consumption
+    is *not* recorded for it). Values are a snapshot taken at
+    :meth:`ready_spec` time — engines must commit consumption back via
+    ``advance(kind, total)`` after a lowered run.
+    """
+
+    rate_per_us: float
+    consumed: int
+
+
+@dataclass(frozen=True, eq=False)
+class DedicatedKindSpec:
+    """Closed form for per-qubit private counters (the QLA model).
+
+    ``rates_per_us[q]`` / ``consumed[q]`` describe qubit ``q``'s private
+    generator. The lists are the supply's *live* state, not a snapshot:
+    the serial engine may replay consumption into them in place (exactly
+    as per-gate ``acquire`` would), while the batched engine treats them
+    as read-only and commits via ``advance_per_qubit(kind, counts)``.
+    """
+
+    rates_per_us: List[float]
+    consumed: List[int]
+
+
+KindSpec = Union[SteadyKindSpec, DedicatedKindSpec]
+
+
+@dataclass(frozen=True, eq=False)
+class ReadySpec:
+    """Declarative ready-time description of a whole supply.
+
+    ``kinds`` maps each *tracked* ancilla kind to its closed form; a kind
+    absent from the mapping never constrains (``acquire`` returns
+    ``earliest`` unchanged). An empty mapping is the infinite supply.
+    """
+
+    kinds: Mapping[str, KindSpec] = field(default_factory=dict)
+
+    def kind(self, kind: str) -> Optional[KindSpec]:
+        """The closed form for ``kind``, or None if unconstrained."""
+        return self.kinds.get(kind)
 
 
 class AncillaSupply(Protocol):
@@ -27,11 +87,74 @@ class AncillaSupply(Protocol):
         ...
 
 
+#: Methods whose behavior a ``ready_spec()`` claims to describe. If a
+#: subclass overrides any of these *below* the class that defined its
+#: inherited ``ready_spec`` (i.e. closer to the instance in the MRO), the
+#: spec no longer speaks for the supply's actual availability/state math,
+#: and :func:`declared_ready_spec` refuses to lower it. Re-declaring
+#: ``ready_spec`` alongside the overrides opts the subclass back in.
+SPEC_COUPLED_METHODS = (
+    "acquire",
+    "advance",
+    "advance_per_qubit",
+    "steady_state",
+    "dedicated_state",
+    "rate_per_us",
+    "consumed_so_far",
+)
+
+
+def declared_ready_spec(supply: object) -> Optional[ReadySpec]:
+    """``supply.ready_spec()`` gated on explicit opt-in, else None.
+
+    The dataflow engines use this — never a bare ``ready_spec()`` call —
+    to decide whether a supply may take the lowered (closed-form / array)
+    path instead of per-gate :meth:`AncillaSupply.acquire` dispatch.
+    A spec is honored only when the class that defines ``ready_spec`` in
+    the instance's MRO is at least as derived as every class defining one
+    of :data:`SPEC_COUPLED_METHODS`; otherwise a subclass overriding only
+    ``advance`` or ``steady_state`` would be *half-batched* — lowered
+    with the parent's math but committed with the child's. Instance-level
+    attribute overrides of any coupled method (monkeypatching) likewise
+    disqualify the supply.
+
+    Returns None for supplies with no ``ready_spec`` at all (custom
+    :class:`AncillaSupply` implementations), which simply stay on the
+    per-gate path.
+    """
+    cls = type(supply)
+    inst_dict = getattr(supply, "__dict__", None)
+    if inst_dict:
+        if "ready_spec" in inst_dict:
+            return None
+        if any(name in inst_dict for name in SPEC_COUPLED_METHODS):
+            return None
+    owner_index: Optional[int] = None
+    for index, base in enumerate(cls.__mro__):
+        if "ready_spec" in base.__dict__:
+            owner_index = index
+            break
+    if owner_index is None:
+        return None
+    for base in cls.__mro__[:owner_index]:
+        for name in SPEC_COUPLED_METHODS:
+            if name in base.__dict__:
+                return None
+    spec = supply.ready_spec()  # type: ignore[attr-defined]
+    if not isinstance(spec, ReadySpec):
+        return None
+    return spec
+
+
 class InfiniteSupply:
     """Ancillae always ready — the speed-of-data limit."""
 
     def acquire(self, kind: str, qubit: int, count: int, earliest: float) -> float:
         return earliest
+
+    def ready_spec(self) -> ReadySpec:
+        """No kind ever constrains: the empty declarative spec."""
+        return ReadySpec({})
 
 
 class _RateCounter:
@@ -125,6 +248,15 @@ class SteadyRateSupply:
             return None
         return counter.rate, counter.consumed
 
+    def ready_spec(self) -> ReadySpec:
+        """One :class:`SteadyKindSpec` snapshot per tracked kind."""
+        return ReadySpec(
+            {
+                kind: SteadyKindSpec(counter.rate, counter.consumed)
+                for kind, counter in self._counters.items()
+            }
+        )
+
 
 class PooledSupply(SteadyRateSupply):
     """Shared factories feeding all consumers — the Fully-Multiplexed model.
@@ -195,6 +327,15 @@ class DedicatedSupply:
         if rates is None:
             return None
         return rates, self._consumed[kind]
+
+    def ready_spec(self) -> ReadySpec:
+        """One :class:`DedicatedKindSpec` per tracked kind (live lists)."""
+        return ReadySpec(
+            {
+                kind: DedicatedKindSpec(rates, self._consumed[kind])
+                for kind, rates in self._rates.items()
+            }
+        )
 
     def advance_per_qubit(self, kind: str, counts: List[int]) -> None:
         """Record per-qubit consumption without time queries.

@@ -11,13 +11,12 @@ the compiled dataflow engine. It
 * consults a :class:`~repro.explore.store.ResultStore` so warm re-runs
   and refined searches perform zero repeat simulations;
 * resolves homogeneous miss batches through the **point-batched** engine
-  (:func:`repro.arch.batched.simulate_batch`): misses sharing a kernel
-  and movement discipline — every steady-supply point, and every
-  QLA/Multiplexed architecture point of one configuration — become one
-  numpy pass over a ``(points, qubits)`` state matrix instead of N
-  serial ``run()`` walks, bit-identically. CQLA points (the cache model
-  has no closed point-parallel form) and ``engine="legacy"`` runs fall
-  back to the per-point path unchanged;
+  (:func:`repro.arch.batched.simulate_batch`): misses sharing a kernel,
+  movement discipline, and CQLA configuration — every steady-supply
+  point, and every QLA/CQLA/Multiplexed architecture point of one
+  configuration — become one numpy pass over a ``(points, qubits)``
+  state matrix instead of N serial ``run()`` walks, bit-identically.
+  Only ``engine="legacy"`` runs take the per-point path;
 * shards cache misses across ``workers=N`` processes, compiling the
   kernel **once per worker** via a ``ProcessPoolExecutor`` initializer —
   tasks are bare point-dict chunks, so nothing heavyweight is re-pickled,
@@ -371,12 +370,13 @@ def evaluate_design_points(
 ) -> List[Evaluation]:
     """Evaluate many *canonical* points, batching homogeneous runs.
 
-    Points sharing a movement discipline (all steady-supply points; all
-    architecture points of one kind/configuration) resolve through one
+    Points sharing a movement discipline and CQLA configuration (all
+    steady-supply points; all architecture points of one
+    kind/configuration, cache modes included) resolve through one
     :func:`repro.arch.batched.simulate_batch` call — a single vectorized
     pass over the whole group — instead of N serial ``run()`` walks.
-    CQLA points and the legacy engine take the per-point path. Results
-    are bit-identical to per-point evaluation either way.
+    Only the legacy engine takes the per-point path. Results are
+    bit-identical to per-point evaluation either way.
     """
     if engine != "compiled" or len(points) < 2:
         return [
@@ -385,29 +385,25 @@ def evaluate_design_points(
         ]
     lowered = [_lower_point(summary, point) for point in points]
     out: List[Optional[Evaluation]] = [None] * len(points)
-    groups: Dict[Tuple[float, float], List[int]] = {}
+    groups: Dict[
+        Tuple[float, float, Optional[CqlaConfig]], List[int]
+    ] = {}
     for i, lp in enumerate(lowered):
-        if lp.cqla is not None:
-            # Cache-mode simulation has no point-parallel form.
-            out[i] = _evaluation(
-                summary, points[i], lp, _run_lowered(summary, lp, compiled, engine)
-            )
-        else:
-            groups.setdefault((lp.move_1q, lp.move_2q), []).append(i)
-    if groups:
-        from repro.arch.batched import simulate_batch
+        groups.setdefault((lp.move_1q, lp.move_2q, lp.cqla), []).append(i)
+    from repro.arch.batched import simulate_batch
 
-        for (move_1q, move_2q), indices in groups.items():
-            results = simulate_batch(
-                summary.circuit,
-                [lowered[i].supply for i in indices],
-                summary.tech,
-                movement_penalty_us=move_1q,
-                two_qubit_movement_penalty_us=move_2q,
-                compiled=compiled,
-            )
-            for i, result in zip(indices, results):
-                out[i] = _evaluation(summary, points[i], lowered[i], result)
+    for (move_1q, move_2q, cqla), indices in groups.items():
+        results = simulate_batch(
+            summary.circuit,
+            [lowered[i].supply for i in indices],
+            summary.tech,
+            movement_penalty_us=move_1q,
+            two_qubit_movement_penalty_us=move_2q,
+            cqla=cqla,
+            compiled=compiled,
+        )
+        for i, result in zip(indices, results):
+            out[i] = _evaluation(summary, points[i], lowered[i], result)
     return out
 
 

@@ -4,9 +4,10 @@ The point-batched engine (:mod:`repro.arch.batched`) must be
 *bit-identical* to both serial engines — every ``SimulationResult`` field
 compared with exact equality, never approx — across all supply models
 (infinite, steady, pooled, dedicated, zero-rate and untracked edge
-cases), with identical observable supply state afterwards. Unrecognized
-supplies and CQLA cache mode must fall back to the per-point serial path
-transparently.
+cases), with identical observable supply state afterwards. CQLA cache
+mode rides a program-order lockstep kernel; only supplies without a
+declared ready-spec fall back to the per-point serial path, and
+``REPRO_FORCE_PER_POINT=1`` forces that path for debugging.
 """
 
 import math
@@ -16,6 +17,7 @@ import pytest
 
 from repro.arch import simulate_batch
 from repro.arch.architectures import (
+    ArchitectureKind,
     CqlaConfig,
     MultiplexedConfig,
     QlaConfig,
@@ -209,6 +211,111 @@ class TestArchitectureBatches:
         assert _batched(qrca8, supplies()) == _serial(qrca8, supplies())
 
 
+class TestCqlaBatches:
+    """CQLA cache mode rides the lockstep kernel — no per-point fallback."""
+
+    @staticmethod
+    def _cqla_supplies(analysis, config, areas=_FACTORY_AREAS):
+        return [
+            config.build_supply(
+                area,
+                analysis.circuit.num_qubits,
+                analysis.zero_bandwidth_per_ms,
+                analysis.pi8_bandwidth_per_ms,
+                analysis.tech,
+            )
+            for area in areas
+        ]
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_area_ladder_identical_to_both_engines(self, kernel, request):
+        analysis = request.getfixturevalue(f"{kernel}8")
+        config = CqlaConfig()
+        batched = _batched(
+            analysis, self._cqla_supplies(analysis, config), config, cqla=config
+        )
+        assert batched == _serial(
+            analysis, self._cqla_supplies(analysis, config), config, cqla=config
+        )
+        assert batched == _serial(
+            analysis,
+            self._cqla_supplies(analysis, config),
+            config,
+            engine="legacy",
+            cqla=config,
+        )
+        assert any(r.cache_misses > 0 for r in batched)
+
+    def test_every_cqla_point_takes_lockstep_kernel(self, qrca8, monkeypatch):
+        """The ladder must route through the vectorized CQLA kernel, not
+        the per-point fallback and not the level kernel."""
+        import repro.arch.batched as batched_module
+
+        real = batched_module._run_cqla_lockstep
+        calls = []
+
+        def spy(cc, points, *args, **kwargs):
+            calls.append(points)
+            return real(cc, points, *args, **kwargs)
+
+        def boom(*args, **kwargs):
+            raise AssertionError("level kernel must not run for CQLA")
+
+        monkeypatch.setattr(batched_module, "_run_cqla_lockstep", spy)
+        monkeypatch.setattr(batched_module, "_run_levels", boom)
+        config = CqlaConfig()
+        supplies = self._cqla_supplies(qrca8, config)
+        _batched(qrca8, supplies, config, cqla=config)
+        assert sum(calls) == len(supplies)
+
+    @pytest.mark.parametrize(
+        "config",
+        [CqlaConfig(cache_fraction=0.5, ports=1), CqlaConfig(ports=4)],
+    )
+    def test_cache_and_port_variants_identical(self, qrca8, config):
+        batched = _batched(
+            qrca8, self._cqla_supplies(qrca8, config), config, cqla=config
+        )
+        assert batched == _serial(
+            qrca8, self._cqla_supplies(qrca8, config), config, cqla=config
+        )
+
+    def test_cqla_supply_state_advanced_identically(self, qrca8):
+        config = CqlaConfig()
+        batch_supplies = self._cqla_supplies(qrca8, config)
+        serial_supplies = self._cqla_supplies(qrca8, config)
+        _batched(qrca8, batch_supplies, config, cqla=config)
+        _serial(qrca8, serial_supplies, config, cqla=config)
+        for batch_supply, serial_supply in zip(batch_supplies, serial_supplies):
+            for kind in (ZERO, PI8):
+                assert batch_supply.consumed_so_far(kind) == (
+                    serial_supply.consumed_so_far(kind)
+                )
+
+    def test_unconstrained_supply_with_cqla_broadcasts(self, qrca8):
+        config = CqlaConfig()
+
+        def supplies():
+            return [InfiniteSupply(), InfiniteSupply(), InfiniteSupply()]
+
+        batched = _batched(qrca8, supplies(), config, cqla=config)
+        assert batched == _serial(qrca8, supplies(), config, cqla=config)
+        assert batched[0] == batched[1] == batched[2]
+
+    def test_mixed_batch_with_custom_supply_under_cqla(self, qrca8):
+        """Spec-less supplies still fall back, CQLA neighbors still batch."""
+        config = CqlaConfig()
+
+        def supplies():
+            return self._cqla_supplies(qrca8, config, _FACTORY_AREAS[:2]) + [
+                _CeilingSupply()
+            ]
+
+        assert _batched(qrca8, supplies(), config, cqla=config) == _serial(
+            qrca8, supplies(), config, cqla=config
+        )
+
+
 class TestFallbacks:
     def test_custom_supply_routes_per_point(self, qrca8, monkeypatch):
         """Unrecognized supplies bypass the vectorized kernel entirely."""
@@ -222,31 +329,27 @@ class TestFallbacks:
         results = simulate_batch(qrca8.circuit, supplies, qrca8.tech)
         assert results == _serial(qrca8, [_CeilingSupply(), _CeilingSupply()])
 
-    def test_cqla_routes_per_point(self, qrca8, monkeypatch):
-        """Cache mode has no point-parallel form: every point falls back."""
+    def test_force_per_point_hatch_matches_batched(self, qrca8, monkeypatch):
+        """REPRO_FORCE_PER_POINT=1 sends every point down the serial path
+        without changing a single result bit."""
         import repro.arch.batched as batched_module
 
         def boom(*args, **kwargs):
             raise AssertionError("vectorized kernel must not run")
 
-        monkeypatch.setattr(batched_module, "_run_levels", boom)
-        config = CqlaConfig()
-
         def supplies():
+            rate = qrca8.zero_bandwidth_per_ms / 2.0
             return [
-                config.build_supply(
-                    area,
-                    qrca8.circuit.num_qubits,
-                    qrca8.zero_bandwidth_per_ms,
-                    qrca8.pi8_bandwidth_per_ms,
-                    qrca8.tech,
-                )
-                for area in _FACTORY_AREAS[:2]
+                SteadyRateSupply({ZERO: rate, PI8: rate}),
+                InfiniteSupply(),
+                DedicatedSupply({ZERO: 0.05, PI8: 0.01}, qrca8.circuit.num_qubits),
             ]
 
-        batched = _batched(qrca8, supplies(), config, cqla=config)
-        assert batched == _serial(qrca8, supplies(), config, cqla=config)
-        assert batched[0].cache_misses > 0
+        vectorized = _batched(qrca8, supplies())
+        monkeypatch.setenv("REPRO_FORCE_PER_POINT", "1")
+        monkeypatch.setattr(batched_module, "_run_levels", boom)
+        monkeypatch.setattr(batched_module, "_run_cqla_lockstep", boom)
+        assert _batched(qrca8, supplies()) == vectorized
 
     def test_instance_level_acquire_override_falls_back(self, qrca8):
         def supplies():
@@ -344,6 +447,41 @@ class TestSweepGrids:
         batched = area_sweep(qcla8)  # default Figure 15 grid
         legacy = area_sweep(qcla8, engine="legacy")
         assert batched == legacy
+
+    @pytest.fixture
+    def traced(self):
+        from repro.obs import trace
+
+        tracer = trace.enable()
+        try:
+            yield tracer
+        finally:
+            trace.disable()
+
+    @staticmethod
+    def _batch_spans(tracer):
+        return [
+            event["args"]
+            for event in tracer.events()
+            if event["name"] == "batched.simulate_batch"
+        ]
+
+    def test_paper_sweeps_never_fall_back(self, qrca8, traced):
+        """Figures 8, 15 and the Figure-16 CQLA comparison sweep must show
+        a fleet-wide batched fallback count of zero."""
+        from repro.arch.sweep import area_sweep, throughput_sweep
+
+        throughput_sweep(qrca8)  # Figure 8
+        area_sweep(qrca8)  # Figure 15 (QLA + CQLA + Multiplexed ladders)
+        area_sweep(
+            qrca8,
+            kinds=[ArchitectureKind.CQLA],
+            cqla=CqlaConfig(cache_fraction=0.25),
+        )  # Figure-16-shaped: the Qalypso-vs-CQLA cache configuration
+        spans = self._batch_spans(traced)
+        assert spans, "paper sweeps must route through simulate_batch"
+        assert sum(span["fallback"] for span in spans) == 0
+        assert all(not span["forced"] for span in spans)
 
     def test_evaluator_batch_equals_per_point_evaluation(self, qrca8):
         """A mixed miss batch resolves to the same evaluations as N

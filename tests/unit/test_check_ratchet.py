@@ -116,6 +116,47 @@ class TestLoadHistory:
         path.write_text('{"a": 1}')
         assert check_ratchet.load_history(path) == []
 
+    def test_duplicate_trailing_batch_dropped_on_load(self, tmp_path):
+        batch = [_dataflow(12.0), _entry("pi8_protocol", speedup=100.0)]
+        path = tmp_path / "hist.json"
+        path.write_text(json.dumps([_dataflow(16.0)] + batch + batch))
+        assert check_ratchet.load_history(path) == [_dataflow(16.0)] + batch
+
+
+class TestDedupeTrailingBatches:
+    def test_identical_trailing_batch_collapsed(self):
+        batch = [_dataflow(12.0), _entry("pi8_protocol", speedup=100.0)]
+        history = [_dataflow(16.0)] + batch + batch
+        assert check_ratchet.dedupe_trailing_batches(history) == (
+            [_dataflow(16.0)] + batch
+        )
+
+    def test_triple_flush_collapses_to_one(self):
+        batch = [_dataflow(12.0)]
+        assert check_ratchet.dedupe_trailing_batches(batch * 3) == batch
+
+    def test_timestamps_ignored_in_identity(self):
+        first = _dataflow(12.0)
+        second = dict(_dataflow(12.0), recorded_at="2026-02-02T00:00:00+00:00")
+        assert check_ratchet.dedupe_trailing_batches([first, second]) == [first]
+
+    def test_fresh_measurements_kept(self):
+        """Re-recorded sessions differ in their timings: no dedupe."""
+        history = [_dataflow(12.0), _dataflow(12.000001)]
+        assert check_ratchet.dedupe_trailing_batches(history) == history
+
+    def test_interleaved_duplicates_kept(self):
+        """Only *trailing* repeats collapse; history-internal repeats are
+        legitimate trajectory (the same value measured twice, apart)."""
+        history = [_dataflow(12.0), _dataflow(14.0), _dataflow(12.0)]
+        assert check_ratchet.dedupe_trailing_batches(history) == history
+
+    def test_empty_and_single(self):
+        assert check_ratchet.dedupe_trailing_batches([]) == []
+        assert check_ratchet.dedupe_trailing_batches([_dataflow(1.0)]) == [
+            _dataflow(1.0)
+        ]
+
 
 class TestMain:
     def _write(self, tmp_path, entries):
@@ -131,9 +172,11 @@ class TestMain:
         assert "REGRESSED" not in out
 
     def test_regressed_history_exits_one(self, tmp_path, capsys):
+        # Distinct timings: identical trailing entries would be collapsed
+        # as a duplicate flush by load_history's dedupe.
         path = self._write(
             tmp_path,
-            [_dataflow(16.0)] + [_dataflow(9.0)] * 3,
+            [_dataflow(16.0), _dataflow(9.0), _dataflow(9.1), _dataflow(8.9)],
         )
         assert check_ratchet.main(["--history", str(path)]) == 1
         captured = capsys.readouterr()

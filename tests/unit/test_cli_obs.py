@@ -140,7 +140,10 @@ class TestProfile:
         out = capsys.readouterr().out
         assert "per-phase breakdown" in out
         assert "phase" in out and "calls" in out
-        assert "simulate.level_walk" in out
+        # Every fig15 ladder batches now (CQLA included), so the profile
+        # shows the batched kernels rather than per-point simulate spans.
+        assert "batched.level_sweep" in out
+        assert "batched.cqla_lockstep" in out
 
     def test_profile_writes_trace(self, tmp_path, capsys):
         trace = tmp_path / "profile.json"

@@ -1,13 +1,15 @@
-"""Evaluator fallback paths: CQLA / custom supplies and alias rejection.
+"""Evaluator batching/fallback paths: CQLA grouping and alias rejection.
 
 The batched sweep suite exercises the happy point-batched path (and
 hypothesis drives it over random rate vectors); these tests pin the
-*fallback* behavior of :mod:`repro.explore.evaluator`:
+batching topology of :mod:`repro.explore.evaluator`:
 
-* CQLA points resolve per-point (cache-port booking has no closed
-  point-parallel form) while their batch-mates still batch;
-* a lowered point whose supply overrides ``acquire`` routes through the
-  per-point serial engine transparently, with identical results;
+* CQLA points batch with their configuration group (the lockstep cache
+  kernel) — nothing about cache mode forces a per-point walk anymore;
+* a lowered point whose supply overrides ``acquire`` (or any other
+  spec-coupled method without re-declaring ``ready_spec``) routes
+  through the per-point serial engine transparently, with identical
+  results;
 * the legacy engine and singleton batches never touch the batched
   engine at all;
 * the aliased rate-limited supply guard fires if a lowering ever hands
@@ -52,8 +54,8 @@ def spy_batch(monkeypatch):
     return calls
 
 
-class TestCqlaFallback:
-    def test_cqla_points_resolve_per_point_others_batch(self, qrca8, spy_batch):
+class TestCqlaBatching:
+    def test_every_point_batches_cqla_included(self, qrca8, spy_batch):
         summary = KernelSummary.from_analysis(qrca8)
         canonical = [dict(p) for p in POINTS]
         batch = evaluate_design_points(summary, canonical, None, "compiled")
@@ -63,11 +65,12 @@ class TestCqlaFallback:
         ]
         assert [e.result for e in batch] == [e.result for e in serial]
         assert [e.point for e in batch] == [e.point for e in serial]
-        # The two CQLA points never entered the batched engine; the two
-        # QLA points batched together, the multiplexed point alone.
+        # Every point entered the batched engine: the two QLA points
+        # together, the two CQLA points together (one configuration
+        # group), the multiplexed point alone.
         batched_supplies = sum(len(call) for call in spy_batch)
-        assert batched_supplies == len(POINTS) - 2
-        assert sorted(len(call) for call in spy_batch) == [1, 2]
+        assert batched_supplies == len(POINTS)
+        assert sorted(len(call) for call in spy_batch) == [1, 2, 2]
 
     def test_cqla_results_match_legacy_engine(self, qrca8):
         compiled = Evaluator(analysis=qrca8).evaluate([POINTS[2]])[0]
